@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose pip/setuptools lack
+PEP 660 editable-wheel support (no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""AdaptiveFL reproduction (DAC 2024).
+
+Top-level package layout:
+
+* ``repro.nn`` — numpy deep-learning substrate and slimmable model zoo.
+* ``repro.data`` — synthetic federated datasets and partitioners.
+* ``repro.devices`` — device heterogeneity / resource-uncertainty models and
+  the simulated real test-bed.
+* ``repro.core`` — the paper's contribution: fine-grained width-wise
+  pruning, RL-based client selection, heterogeneous aggregation and the
+  AdaptiveFL training loop.
+* ``repro.baselines`` — All-Large (FedAvg), Decoupled, HeteroFL and ScaleFL.
+* ``repro.experiments`` — configurations and runners that regenerate every
+  table and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

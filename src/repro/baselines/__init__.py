@@ -1,0 +1,32 @@
+"""Baseline federated-learning algorithms the paper compares against.
+
+* :class:`~repro.baselines.fedavg.AllLargeFedAvg` — classic FedAvg training
+  the full model on every selected client ("All-Large" in Table 2),
+* :class:`~repro.baselines.decoupled.DecoupledFL` — independent FedAvg per
+  size level with no cross-level knowledge sharing ("Decoupled"),
+* :class:`~repro.baselines.heterofl.HeteroFL` — static width-wise pruning
+  of every layer, level assigned from known device resources,
+* :class:`~repro.baselines.scalefl.ScaleFL` — two-dimensional (width +
+  depth) scaling, level assigned from known device resources.
+"""
+
+from repro.baselines.decoupled import DecoupledFL
+from repro.baselines.fedavg import AllLargeFedAvg
+from repro.baselines.heterofl import HeteroFL
+from repro.baselines.scalefl import ScaleFL
+
+__all__ = ["AllLargeFedAvg", "DecoupledFL", "HeteroFL", "ScaleFL", "create_algorithm", "ALGORITHMS"]
+
+ALGORITHMS = {
+    "all_large": AllLargeFedAvg,
+    "decoupled": DecoupledFL,
+    "heterofl": HeteroFL,
+    "scalefl": ScaleFL,
+}
+
+
+def create_algorithm(name: str, *args, **kwargs):
+    """Instantiate a baseline by name (see :data:`ALGORITHMS`)."""
+    if name not in ALGORITHMS:
+        raise KeyError(f"unknown baseline {name!r}; available: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name](*args, **kwargs)

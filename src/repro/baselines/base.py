@@ -1,0 +1,46 @@
+"""Shared helpers for the baseline algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fl_base import FederatedAlgorithm
+from repro.core.model_pool import SubmodelConfig
+
+__all__ = ["RandomSelectionMixin", "capacity_level_assignment"]
+
+
+class RandomSelectionMixin:
+    """Uniform client sampling without replacement (used by every baseline)."""
+
+    def sample_clients(self: FederatedAlgorithm, rng: np.random.Generator) -> list[int]:
+        count = min(self.federated_config.clients_per_round, self.num_clients)
+        return [int(c) for c in rng.choice(self.num_clients, size=count, replace=False)]
+
+
+def capacity_level_assignment(
+    algorithm: FederatedAlgorithm,
+    level_configs: dict[str, SubmodelConfig] | dict[str, int],
+) -> dict[int, str]:
+    """Assign each client the largest level its *nominal* capacity can train.
+
+    HeteroFL and ScaleFL require the server to know device resources; this
+    helper encodes that assumption (which AdaptiveFL removes).  Clients that
+    cannot even fit the smallest level are still assigned the smallest one.
+    ``level_configs`` maps level name to either a pool entry or a raw
+    parameter count.
+    """
+    sizes: dict[str, int] = {}
+    for level, value in level_configs.items():
+        sizes[level] = value.num_params if isinstance(value, SubmodelConfig) else int(value)
+    ordered = sorted(sizes.items(), key=lambda item: item[1])
+
+    assignment: dict[int, str] = {}
+    for client_id in range(algorithm.num_clients):
+        capacity = algorithm.resource_model.nominal_capacity(client_id)
+        chosen = ordered[0][0]
+        for level, size in ordered:
+            if size <= capacity:
+                chosen = level
+        assignment[client_id] = chosen
+    return assignment

@@ -1,0 +1,100 @@
+"""Decoupled: independent FedAvg per size level.
+
+Each level (S1 / M1 / L1) keeps its own global model, trained only by the
+clients whose resources can afford that level, and no parameters are
+shared across levels.  The paper uses this baseline to show what is lost
+without heterogeneous aggregation: small-capable clients never contribute
+to the large model and vice versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RandomSelectionMixin, capacity_level_assignment
+from repro.core.aggregation import ClientUpdate, fedavg_aggregate
+from repro.core.fl_base import FederatedAlgorithm
+from repro.core.history import RoundRecord
+from repro.core.local_training import train_local_model
+from repro.core.metrics import communication_waste_rate, evaluate_state
+from repro.core.pruning import extract_submodel_state
+
+__all__ = ["DecoupledFL"]
+
+
+class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
+    """One isolated FedAvg per model level."""
+
+    name = "decoupled"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.level_heads = self.pool.level_heads()
+        # Every level starts from the matching slice of the same initial model.
+        self.level_states = {
+            level: extract_submodel_state(self.global_state, self.pool, config)
+            for level, config in self.level_heads.items()
+        }
+        self.client_level = capacity_level_assignment(self, self.level_heads)
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        rng = self.round_rng(round_index)
+        selected = self.sample_clients(rng)
+
+        per_level_updates: dict[str, list[ClientUpdate]] = {level: [] for level in self.level_states}
+        losses: list[float] = []
+        dispatched: list[str] = []
+        for client_id in selected:
+            level = self.client_level[client_id]
+            config = self.level_heads[level]
+            client = self.clients[client_id]
+            result = train_local_model(
+                architecture=self.architecture,
+                group_sizes=self.pool.group_sizes(config),
+                initial_state=self.level_states[level],
+                dataset=client.dataset,
+                config=self.local_config,
+                rng=np.random.default_rng((self.seed, round_index, client_id)),
+            )
+            per_level_updates[level].append(ClientUpdate(result.state, result.num_samples))
+            losses.append(result.mean_loss)
+            dispatched.append(config.name)
+
+        for level, updates in per_level_updates.items():
+            if updates:
+                self.level_states[level] = fedavg_aggregate(updates)
+        # The "full" model of Decoupled is its L-level model.
+        self.global_state = dict(self.level_states["L"])
+
+        sizes = [self.level_heads[self.client_level[c]].num_params for c in selected]
+        record = RoundRecord(
+            round_index=round_index,
+            train_loss=float(np.mean(losses)) if losses else None,
+            communication_waste=communication_waste_rate(sizes, sizes) if sizes else None,
+            dispatched=dispatched,
+            returned=list(dispatched),
+            selected_clients=selected,
+        )
+        record.wall_clock_seconds = self.simulate_round_time(round_index, selected, dispatched, dispatched)
+        return record
+
+    def evaluate(self) -> tuple[float, dict[str, float]]:
+        """Full = the L-level model; per-level heads use their own decoupled states."""
+        full_accuracy, _ = evaluate_state(
+            self.architecture,
+            self.architecture.full_group_sizes(),
+            self.level_states["L"],
+            self.test_dataset,
+            batch_size=self.federated_config.eval_batch_size,
+        )
+        level_accuracies: dict[str, float] = {}
+        for level, config in self.level_heads.items():
+            accuracy, _ = evaluate_state(
+                self.architecture,
+                self.pool.group_sizes(config),
+                self.level_states[level],
+                self.test_dataset,
+                batch_size=self.federated_config.eval_batch_size,
+            )
+            level_accuracies[level] = accuracy
+        return full_accuracy, level_accuracies

@@ -1,0 +1,60 @@
+"""All-Large: classic FedAvg on the full global model.
+
+This is the paper's reference upper-capacity baseline: every selected
+client trains the unpruned L1 model regardless of its resources (which a
+real resource-constrained deployment could not do — the comparison shows
+how close AdaptiveFL gets without that assumption).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RandomSelectionMixin
+from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
+from repro.core.fl_base import FederatedAlgorithm
+from repro.core.history import RoundRecord
+from repro.core.local_training import train_local_model
+from repro.core.metrics import communication_waste_rate
+
+__all__ = ["AllLargeFedAvg"]
+
+
+class AllLargeFedAvg(RandomSelectionMixin, FederatedAlgorithm):
+    """FedAvg with the full model dispatched to every participant."""
+
+    name = "all_large"
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        rng = self.round_rng(round_index)
+        selected = self.sample_clients(rng)
+        full_sizes = self.architecture.full_group_sizes()
+        full_params = self.pool.full_config.num_params
+
+        updates: list[ClientUpdate] = []
+        losses: list[float] = []
+        for client_id in selected:
+            client = self.clients[client_id]
+            result = train_local_model(
+                architecture=self.architecture,
+                group_sizes=full_sizes,
+                initial_state=self.global_state,
+                dataset=client.dataset,
+                config=self.local_config,
+                rng=np.random.default_rng((self.seed, round_index, client_id)),
+            )
+            updates.append(ClientUpdate(result.state, result.num_samples))
+            losses.append(result.mean_loss)
+
+        self.global_state = aggregate_heterogeneous(self.global_state, updates)
+        dispatched = ["L1"] * len(selected)
+        record = RoundRecord(
+            round_index=round_index,
+            train_loss=float(np.mean(losses)) if losses else None,
+            communication_waste=communication_waste_rate([full_params] * len(selected), [full_params] * len(selected)),
+            dispatched=dispatched,
+            returned=list(dispatched),
+            selected_clients=selected,
+        )
+        record.wall_clock_seconds = self.simulate_round_time(round_index, selected, dispatched, dispatched)
+        return record

@@ -1,0 +1,83 @@
+"""HeteroFL (Diao et al., ICLR 2021) on the shared substrate.
+
+HeteroFL statically prunes *every* layer of the global model by a
+per-level width ratio and assigns each client the largest level its
+(known) resources can train.  Aggregation is the same prefix-overlap
+weighted averaging as AdaptiveFL — the differences under test are the
+coarse pruning granularity (whole-network width only, no ``I`` knob) and
+the reliance on accurate device resource information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RandomSelectionMixin, capacity_level_assignment
+from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
+from repro.core.config import ModelPoolConfig
+from repro.core.fl_base import FederatedAlgorithm
+from repro.core.history import RoundRecord
+from repro.core.local_training import train_local_model
+from repro.core.metrics import communication_waste_rate
+from repro.core.pruning import extract_submodel_state
+
+__all__ = ["HeteroFL", "HETEROFL_POOL_CONFIG"]
+
+#: Width ratios chosen so the level parameter counts approximate the
+#: canonical HeteroFL 1.0× / 0.5× / 0.25× complexity levels (parameters of
+#: conv layers scale with the square of the width ratio).
+HETEROFL_POOL_CONFIG = ModelPoolConfig(
+    models_per_level=1,
+    level_width_ratios={"L": 1.0, "M": 0.71, "S": 0.5},
+    start_layers=(0,),
+    min_start_layer=0,
+)
+
+
+class HeteroFL(RandomSelectionMixin, FederatedAlgorithm):
+    """Static whole-network width pruning with capacity-based assignment."""
+
+    name = "heterofl"
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("pool_config", HETEROFL_POOL_CONFIG)
+        super().__init__(*args, **kwargs)
+        self.level_heads = self.pool.level_heads()
+        self.client_level = capacity_level_assignment(self, self.level_heads)
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        rng = self.round_rng(round_index)
+        selected = self.sample_clients(rng)
+
+        updates: list[ClientUpdate] = []
+        losses: list[float] = []
+        dispatched: list[str] = []
+        for client_id in selected:
+            level = self.client_level[client_id]
+            config = self.level_heads[level]
+            client = self.clients[client_id]
+            initial_state = extract_submodel_state(self.global_state, self.pool, config)
+            result = train_local_model(
+                architecture=self.architecture,
+                group_sizes=self.pool.group_sizes(config),
+                initial_state=initial_state,
+                dataset=client.dataset,
+                config=self.local_config,
+                rng=np.random.default_rng((self.seed, round_index, client_id)),
+            )
+            updates.append(ClientUpdate(result.state, result.num_samples))
+            losses.append(result.mean_loss)
+            dispatched.append(config.name)
+
+        self.global_state = aggregate_heterogeneous(self.global_state, updates)
+        sizes = [self.level_heads[self.client_level[c]].num_params for c in selected]
+        record = RoundRecord(
+            round_index=round_index,
+            train_loss=float(np.mean(losses)) if losses else None,
+            communication_waste=communication_waste_rate(sizes, sizes) if sizes else None,
+            dispatched=dispatched,
+            returned=list(dispatched),
+            selected_clients=selected,
+        )
+        record.wall_clock_seconds = self.simulate_round_time(round_index, selected, dispatched, dispatched)
+        return record

@@ -1,0 +1,58 @@
+"""AdaptiveFL core: the paper's contribution.
+
+* :mod:`repro.core.pruning` — fine-grained width-wise model pruning,
+* :mod:`repro.core.model_pool` — the heterogeneous model pool (S/M/L × p),
+* :mod:`repro.core.rl_selection` — RL-based client selection,
+* :mod:`repro.core.aggregation` — heterogeneous model aggregation,
+* :mod:`repro.core.server` — the AdaptiveFL training loop,
+* :mod:`repro.core.fl_base` — shared federated scaffolding reused by the
+  baselines.
+"""
+
+from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous, fedavg_aggregate
+from repro.core.client import ClientRoundResult, SimulatedClient
+from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig, ModelPoolConfig
+from repro.core.fl_base import FederatedAlgorithm
+from repro.core.history import RoundRecord, TrainingHistory
+from repro.core.local_training import LocalTrainingResult, train_local_model
+from repro.core.metrics import communication_waste_rate, evaluate_model, evaluate_state
+from repro.core.model_pool import LEVELS, ModelPool, SubmodelConfig
+from repro.core.pruning import (
+    build_submodel,
+    extract_submodel_state,
+    resource_aware_prune,
+    slice_state_dict,
+    slice_tensor,
+)
+from repro.core.rl_selection import RLClientSelector
+from repro.core.server import AdaptiveFL
+
+__all__ = [
+    "AdaptiveFL",
+    "AdaptiveFLConfig",
+    "FederatedConfig",
+    "LocalTrainingConfig",
+    "ModelPoolConfig",
+    "FederatedAlgorithm",
+    "ModelPool",
+    "SubmodelConfig",
+    "LEVELS",
+    "RLClientSelector",
+    "ClientUpdate",
+    "aggregate_heterogeneous",
+    "fedavg_aggregate",
+    "ClientRoundResult",
+    "SimulatedClient",
+    "LocalTrainingResult",
+    "train_local_model",
+    "TrainingHistory",
+    "RoundRecord",
+    "evaluate_model",
+    "evaluate_state",
+    "communication_waste_rate",
+    "slice_tensor",
+    "slice_state_dict",
+    "extract_submodel_state",
+    "build_submodel",
+    "resource_aware_prune",
+]

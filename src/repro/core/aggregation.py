@@ -1,0 +1,99 @@
+"""Heterogeneous model aggregation (Algorithm 2 of the paper).
+
+Because every submodel keeps prefix blocks of the global tensors, the
+aggregation reduces to element-wise weighted averaging with per-element
+coverage bookkeeping: an element of the global model is replaced by the
+data-size-weighted mean of the uploads that contain it, and keeps its old
+value if no upload covers it (Algorithm 2, line 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ClientUpdate", "aggregate_heterogeneous", "fedavg_aggregate"]
+
+
+@dataclass
+class ClientUpdate:
+    """One uploaded submodel: its state dict and the client's data size."""
+
+    state: Mapping[str, np.ndarray]
+    num_samples: int
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+
+
+def _accumulate(
+    target: np.ndarray,
+    weight_sum: np.ndarray,
+    update: np.ndarray,
+    weight: float,
+) -> None:
+    """Add a prefix-shaped update into the accumulators in place."""
+    region = tuple(slice(0, extent) for extent in update.shape)
+    target[region] += update * weight
+    weight_sum[region] += weight
+
+
+def aggregate_heterogeneous(
+    global_state: Mapping[str, np.ndarray],
+    updates: Sequence[ClientUpdate],
+) -> dict[str, np.ndarray]:
+    """Aggregate heterogeneous submodel uploads into a new global state.
+
+    Every uploaded tensor must be a prefix block of the corresponding
+    global tensor (same number of axes, each extent no larger).  Elements
+    not covered by any upload keep their previous global value.
+    """
+    if not updates:
+        return {name: np.array(value, copy=True) for name, value in global_state.items()}
+
+    new_state: dict[str, np.ndarray] = {}
+    for name, old_value in global_state.items():
+        old_value = np.asarray(old_value, dtype=np.float64)
+        accumulator = np.zeros_like(old_value)
+        weight_sum = np.zeros_like(old_value)
+        for update in updates:
+            if name not in update.state:
+                continue
+            tensor = np.asarray(update.state[name], dtype=np.float64)
+            if tensor.ndim != old_value.ndim or any(
+                extent > full for extent, full in zip(tensor.shape, old_value.shape)
+            ):
+                raise ValueError(
+                    f"upload for {name!r} with shape {tensor.shape} is not a prefix of {old_value.shape}"
+                )
+            _accumulate(accumulator, weight_sum, tensor, float(update.num_samples))
+        covered = weight_sum > 0
+        merged = np.array(old_value, copy=True)
+        merged[covered] = accumulator[covered] / weight_sum[covered]
+        new_state[name] = merged
+    return new_state
+
+
+def fedavg_aggregate(updates: Sequence[ClientUpdate]) -> dict[str, np.ndarray]:
+    """Classic FedAvg over homogeneous (same-shape) uploads."""
+    if not updates:
+        raise ValueError("fedavg_aggregate needs at least one update")
+    total = float(sum(update.num_samples for update in updates))
+    reference = updates[0].state
+    merged: dict[str, np.ndarray] = {}
+    for name, value in reference.items():
+        merged[name] = np.zeros_like(np.asarray(value, dtype=np.float64))
+    for update in updates:
+        weight = update.num_samples / total
+        for name, value in update.state.items():
+            tensor = np.asarray(value, dtype=np.float64)
+            if tensor.shape != merged[name].shape:
+                raise ValueError(
+                    f"fedavg_aggregate requires homogeneous shapes; {name!r} differs "
+                    f"({tensor.shape} vs {merged[name].shape})"
+                )
+            merged[name] += weight * tensor
+    return merged

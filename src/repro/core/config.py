@@ -1,0 +1,110 @@
+"""Configuration dataclasses shared by AdaptiveFL and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LocalTrainingConfig", "FederatedConfig", "ModelPoolConfig", "AdaptiveFLConfig"]
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Hyper-parameters of one client's local training pass.
+
+    Defaults follow the paper's §4: SGD with learning rate 0.01 and
+    momentum 0.5, batch size 50, five local epochs.
+    """
+
+    local_epochs: int = 5
+    batch_size: int = 50
+    learning_rate: float = 0.01
+    momentum: float = 0.5
+    weight_decay: float = 0.0
+    max_batches_per_epoch: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.local_epochs <= 0:
+            raise ValueError("local_epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.max_batches_per_epoch is not None and self.max_batches_per_epoch <= 0:
+            raise ValueError("max_batches_per_epoch must be positive when set")
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Global federated-learning loop configuration."""
+
+    num_rounds: int = 100
+    clients_per_round: int = 10
+    eval_every: int = 10
+    eval_batch_size: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if self.clients_per_round <= 0:
+            raise ValueError("clients_per_round must be positive")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+
+
+@dataclass(frozen=True)
+class ModelPoolConfig:
+    """How the global model is split into the heterogeneous model pool.
+
+    ``models_per_level`` is the paper's ``p``; the pool then contains
+    ``2p + 1`` submodels: p small, p medium and the unpruned large model.
+    ``level_width_ratios`` are the coarse width knobs per level and
+    ``start_layers`` the fine layer knobs (largest first), matching
+    Table 1's ``r_w`` / ``I`` columns.  ``min_start_layer`` is the paper's
+    threshold τ that guarantees heterogeneous models share shallow layers.
+    """
+
+    models_per_level: int = 3
+    level_width_ratios: dict[str, float] = field(
+        default_factory=lambda: {"L": 1.0, "M": 0.66, "S": 0.40}
+    )
+    start_layers: tuple[int, ...] = (8, 6, 4)
+    min_start_layer: int = 4
+
+    def __post_init__(self) -> None:
+        if self.models_per_level <= 0:
+            raise ValueError("models_per_level must be positive")
+        if set(self.level_width_ratios) != {"L", "M", "S"}:
+            raise ValueError("level_width_ratios must define exactly L, M and S")
+        if self.level_width_ratios["L"] != 1.0:
+            raise ValueError("the L level must keep the full width (ratio 1.0)")
+        if not self.level_width_ratios["S"] < self.level_width_ratios["M"] <= 1.0:
+            raise ValueError("level ratios must satisfy S < M <= 1")
+        if len(self.start_layers) != self.models_per_level:
+            raise ValueError("start_layers must provide one entry per model of a level")
+        if sorted(self.start_layers, reverse=True) != list(self.start_layers):
+            raise ValueError("start_layers must be sorted from largest to smallest")
+        if min(self.start_layers) < self.min_start_layer:
+            raise ValueError("start_layers must respect the min_start_layer threshold τ")
+
+
+@dataclass(frozen=True)
+class AdaptiveFLConfig:
+    """Full AdaptiveFL algorithm configuration."""
+
+    federated: FederatedConfig = field(default_factory=FederatedConfig)
+    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+    pool: ModelPoolConfig = field(default_factory=ModelPoolConfig)
+    #: client-selection strategy: "rl-cs" (paper), "rl-c", "rl-s", "random", "greedy"
+    selection_strategy: str = "rl-cs"
+    #: success-rate cap applied to the resource reward (paper: 0.5)
+    resource_reward_cap: float = 0.5
+
+    def __post_init__(self) -> None:
+        valid = {"rl-cs", "rl-c", "rl-s", "random", "greedy"}
+        if self.selection_strategy not in valid:
+            raise ValueError(f"selection_strategy must be one of {sorted(valid)}")
+        if not 0.0 < self.resource_reward_cap <= 1.0:
+            raise ValueError("resource_reward_cap must be in (0, 1]")

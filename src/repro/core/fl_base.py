@@ -1,0 +1,186 @@
+"""Shared federated-training scaffolding for AdaptiveFL and the baselines.
+
+Every algorithm in this repository follows the same synchronous FL
+protocol: select participants, dispatch weights, train locally, aggregate,
+evaluate.  :class:`FederatedAlgorithm` implements the common machinery
+(client construction, per-round RNG, evaluation of the global model and of
+the per-level heads, history bookkeeping, optional wall-clock simulation);
+subclasses implement :meth:`run_round`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.config import FederatedConfig, LocalTrainingConfig, ModelPoolConfig
+from repro.core.client import SimulatedClient
+from repro.core.history import RoundRecord, TrainingHistory
+from repro.core.metrics import evaluate_state
+from repro.core.model_pool import ModelPool
+from repro.data.datasets import Dataset
+from repro.data.partition import ClientPartition
+from repro.devices.profiles import DeviceProfile
+from repro.devices.resources import ResourceModel
+from repro.devices.testbed import TestbedSimulator
+from repro.nn.models.spec import SlimmableArchitecture
+from repro.nn.profiling import count_flops
+
+__all__ = ["FederatedAlgorithm"]
+
+
+class FederatedAlgorithm(ABC):
+    """Base class of every federated algorithm in the repository."""
+
+    #: short identifier ("adaptivefl", "all_large", "heterofl", ...)
+    name: str = "federated"
+
+    def __init__(
+        self,
+        architecture: SlimmableArchitecture,
+        train_dataset: Dataset,
+        partition: ClientPartition,
+        test_dataset: Dataset,
+        profiles: list[DeviceProfile],
+        federated_config: FederatedConfig,
+        local_config: LocalTrainingConfig,
+        pool_config: ModelPoolConfig | None = None,
+        resource_model: ResourceModel | None = None,
+        testbed: TestbedSimulator | None = None,
+        seed: int = 0,
+    ):
+        if partition.num_clients != len(profiles):
+            raise ValueError("partition and device profiles must cover the same number of clients")
+        if federated_config.clients_per_round > partition.num_clients:
+            raise ValueError("clients_per_round cannot exceed the number of clients")
+        self.architecture = architecture
+        self.train_dataset = train_dataset
+        self.partition = partition
+        self.test_dataset = test_dataset
+        self.profiles = list(profiles)
+        self.federated_config = federated_config
+        self.local_config = local_config
+        self.pool = ModelPool(architecture, pool_config or ModelPoolConfig())
+        self.resource_model = resource_model or ResourceModel(
+            self.profiles, architecture.parameter_count(), uncertainty=0.0, seed=seed
+        )
+        self.testbed = testbed
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+        self.clients = [
+            SimulatedClient(
+                client_id=index,
+                dataset=partition.client_dataset(train_dataset, index),
+                profile=profiles[index],
+                local_config=local_config,
+            )
+            for index in range(partition.num_clients)
+        ]
+        self.global_state = architecture.build(rng=np.random.default_rng(seed)).state_dict()
+        self.history = TrainingHistory(self.name)
+        self._flops_cache: dict[str, int] = {}
+
+    # -- hooks --------------------------------------------------------------------------
+    @abstractmethod
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one federated round and return its (unevaluated) record."""
+
+    # -- helpers ------------------------------------------------------------------------
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    def round_rng(self, round_index: int) -> np.random.Generator:
+        """Deterministic per-round RNG, independent of evaluation cadence."""
+        return np.random.default_rng((self.seed, round_index))
+
+    def client_capacity(self, client_id: int, round_index: int) -> float:
+        """The client's available resources this round (server never reads this)."""
+        return self.resource_model.available_capacity(client_id, round_index)
+
+    def level_group_sizes(self) -> dict[str, dict[str, int]]:
+        """Channel sizes of the per-level heads (S1 / M1 / L1) used for "avg"."""
+        return {level: self.pool.group_sizes(cfg) for level, cfg in self.pool.level_heads().items()}
+
+    def submodel_flops(self, config_name: str) -> int:
+        """Per-sample MACs of a pool entry (cached; used by the test-bed clock)."""
+        if config_name not in self._flops_cache:
+            config = self.pool.by_name(config_name)
+            model = self.architecture.build(self.pool.group_sizes(config), rng=np.random.default_rng(0))
+            self._flops_cache[config_name] = count_flops(model, self.architecture.input_shape).flops
+        return self._flops_cache[config_name]
+
+    def simulate_round_time(
+        self,
+        round_index: int,
+        selected_clients: list[int],
+        dispatched_names: list[str],
+        returned_names: list[str],
+    ) -> float | None:
+        """Wall-clock seconds of a synchronous round on the test-bed (if any)."""
+        if self.testbed is None:
+            return None
+        times = []
+        for client_id, sent_name, back_name in zip(selected_clients, dispatched_names, returned_names):
+            sent_params = self.pool.by_name(sent_name).num_params
+            back_params = self.pool.by_name(back_name).num_params
+            flops = self.submodel_flops(back_name)
+            times.append(
+                self.testbed.client_round_time(
+                    client_id,
+                    params_down=sent_params,
+                    params_up=back_params,
+                    flops_per_sample=flops,
+                    num_samples=self.clients[client_id].num_samples,
+                    local_epochs=self.local_config.local_epochs,
+                )
+            )
+        return self.testbed.round_time(times)
+
+    # -- evaluation -----------------------------------------------------------------------
+    def evaluate(self) -> tuple[float, dict[str, float]]:
+        """Accuracy of the full global model and of the per-level heads."""
+        full_accuracy, _ = evaluate_state(
+            self.architecture,
+            self.architecture.full_group_sizes(),
+            self.global_state,
+            self.test_dataset,
+            batch_size=self.federated_config.eval_batch_size,
+        )
+        level_accuracies: dict[str, float] = {}
+        for level, group_sizes in self.level_group_sizes().items():
+            accuracy, _ = evaluate_state(
+                self.architecture,
+                group_sizes,
+                self.global_state,
+                self.test_dataset,
+                batch_size=self.federated_config.eval_batch_size,
+            )
+            level_accuracies[level] = accuracy
+        return full_accuracy, level_accuracies
+
+    def _record_evaluation(self, record: RoundRecord) -> None:
+        full_accuracy, level_accuracies = self.evaluate()
+        record.full_accuracy = full_accuracy
+        record.level_accuracies = level_accuracies
+        record.avg_accuracy = float(np.mean(list(level_accuracies.values()))) if level_accuracies else None
+
+    # -- main loop --------------------------------------------------------------------------
+    def run(self, num_rounds: int | None = None, progress: bool = False) -> TrainingHistory:
+        """Run the federated loop, evaluating every ``eval_every`` rounds."""
+        rounds = num_rounds if num_rounds is not None else self.federated_config.num_rounds
+        start = len(self.history)
+        for round_index in range(start, start + rounds):
+            record = self.run_round(round_index)
+            should_eval = ((round_index + 1) % self.federated_config.eval_every == 0) or (
+                round_index == start + rounds - 1
+            )
+            if should_eval:
+                self._record_evaluation(record)
+            self.history.append(record)
+            if progress:  # pragma: no cover - console convenience only
+                accuracy = f"{record.full_accuracy:.3f}" if record.full_accuracy is not None else "-"
+                print(f"[{self.name}] round {round_index + 1}/{rounds} full_acc={accuracy}")
+        return self.history

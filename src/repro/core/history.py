@@ -1,0 +1,105 @@
+"""Round-by-round training history shared by AdaptiveFL and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass
+class RoundRecord:
+    """Everything recorded about one federated round."""
+
+    round_index: int
+    #: accuracy of the full global model (the paper's "full")
+    full_accuracy: float | None = None
+    #: per-level-head accuracy {"S": ..., "M": ..., "L": ...}
+    level_accuracies: dict[str, float] = field(default_factory=dict)
+    #: mean of the level-head accuracies (the paper's "avg")
+    avg_accuracy: float | None = None
+    train_loss: float | None = None
+    communication_waste: float | None = None
+    dispatched: list[str] = field(default_factory=list)
+    returned: list[str] = field(default_factory=list)
+    selected_clients: list[int] = field(default_factory=list)
+    wall_clock_seconds: float | None = None
+
+
+class TrainingHistory:
+    """Append-only collection of :class:`RoundRecord` with convenience views."""
+
+    def __init__(self, algorithm: str):
+        self.algorithm = algorithm
+        self.records: list[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round_index <= self.records[-1].round_index:
+            raise ValueError("round indices must be strictly increasing")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- series views -----------------------------------------------------------------
+    def evaluated_records(self) -> list[RoundRecord]:
+        """Records that carry an evaluation (full accuracy is present)."""
+        return [record for record in self.records if record.full_accuracy is not None]
+
+    def accuracy_curve(self, kind: str = "full") -> tuple[list[int], list[float]]:
+        """(rounds, accuracies) series; ``kind`` is ``"full"`` or ``"avg"``."""
+        if kind not in {"full", "avg"}:
+            raise ValueError("kind must be 'full' or 'avg'")
+        rounds, values = [], []
+        for record in self.evaluated_records():
+            value = record.full_accuracy if kind == "full" else record.avg_accuracy
+            if value is None:
+                continue
+            rounds.append(record.round_index)
+            values.append(value)
+        return rounds, values
+
+    def time_curve(self, kind: str = "full") -> tuple[list[float], list[float]]:
+        """(cumulative seconds, accuracies); requires wall-clock records."""
+        rounds, values = [], []
+        elapsed = 0.0
+        for record in self.records:
+            elapsed += record.wall_clock_seconds or 0.0
+            value = record.full_accuracy if kind == "full" else record.avg_accuracy
+            if value is None:
+                continue
+            rounds.append(elapsed)
+            values.append(value)
+        return rounds, values
+
+    def final_accuracy(self, kind: str = "full") -> float:
+        """Best evaluated accuracy over training (the paper reports best test accuracy)."""
+        _, values = self.accuracy_curve(kind)
+        if not values:
+            raise ValueError("history has no evaluated rounds")
+        return max(values)
+
+    def mean_communication_waste(self) -> float:
+        """Average communication-waste rate across rounds that recorded it."""
+        rates = [record.communication_waste for record in self.records if record.communication_waste is not None]
+        if not rates:
+            raise ValueError("history has no communication-waste records")
+        return float(sum(rates) / len(rates))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (used by the experiment runner)."""
+        return {
+            "algorithm": self.algorithm,
+            "rounds": [
+                {
+                    "round": record.round_index,
+                    "full_accuracy": record.full_accuracy,
+                    "avg_accuracy": record.avg_accuracy,
+                    "level_accuracies": record.level_accuracies,
+                    "train_loss": record.train_loss,
+                    "communication_waste": record.communication_waste,
+                    "wall_clock_seconds": record.wall_clock_seconds,
+                }
+                for record in self.records
+            ],
+        }

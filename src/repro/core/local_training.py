@@ -1,0 +1,86 @@
+"""Local training of a (sub)model on one client's data (Algorithm 1, LocalTrain).
+
+The same routine serves AdaptiveFL and every baseline: it builds the
+network for the requested channel configuration, loads the dispatched
+weights, runs the paper's local SGD schedule and returns the trained state
+dict together with the client's data size (used as the aggregation
+weight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.config import LocalTrainingConfig
+from repro.data.datasets import Dataset
+from repro.data.loader import DataLoader
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models.spec import SlimmableArchitecture
+from repro.nn.optim import SGD
+
+__all__ = ["LocalTrainingResult", "train_local_model"]
+
+
+@dataclass
+class LocalTrainingResult:
+    """Output of one client's local training pass."""
+
+    state: dict[str, np.ndarray]
+    num_samples: int
+    mean_loss: float
+    num_steps: int
+
+
+def train_local_model(
+    architecture: SlimmableArchitecture,
+    group_sizes: Mapping[str, int],
+    initial_state: Mapping[str, np.ndarray],
+    dataset: Dataset,
+    config: LocalTrainingConfig,
+    rng: np.random.Generator,
+) -> LocalTrainingResult:
+    """Run the paper's local-training schedule on one client.
+
+    ``initial_state`` must already match ``group_sizes`` (the caller slices
+    the global model first — that separation keeps the data path identical
+    to a real deployment, where only the pruned weights travel to the
+    device).
+    """
+    if len(dataset) == 0:
+        raise ValueError("client dataset is empty")
+    model = architecture.build(group_sizes, rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
+    model.load_state_dict({name: np.asarray(value) for name, value in initial_state.items()})
+    model.train()
+
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.learning_rate,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    loss_fn = CrossEntropyLoss()
+    loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
+
+    total_loss = 0.0
+    steps = 0
+    for _ in range(config.local_epochs):
+        for batch_index, (images, labels) in enumerate(loader):
+            if config.max_batches_per_epoch is not None and batch_index >= config.max_batches_per_epoch:
+                break
+            optimizer.zero_grad()
+            logits = model(images)
+            loss = loss_fn(logits, labels)
+            model.backward(loss_fn.backward())
+            optimizer.step()
+            total_loss += loss
+            steps += 1
+    mean_loss = total_loss / steps if steps else float("nan")
+    return LocalTrainingResult(
+        state=model.state_dict(),
+        num_samples=len(dataset),
+        mean_loss=mean_loss,
+        num_steps=steps,
+    )

@@ -1,0 +1,72 @@
+"""Evaluation metrics: accuracy/loss of (sub)models and communication waste."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+
+__all__ = ["evaluate_model", "evaluate_state", "communication_waste_rate"]
+
+
+def evaluate_model(model: Module, dataset: Dataset, batch_size: int = 200) -> tuple[float, float]:
+    """Test accuracy and mean cross-entropy loss of a built model."""
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    model.eval()
+    loss_fn = CrossEntropyLoss()
+    correct = 0
+    total_loss = 0.0
+    for start in range(0, len(dataset), batch_size):
+        images = dataset.images[start : start + batch_size]
+        labels = dataset.labels[start : start + batch_size]
+        logits = model(images)
+        total_loss += loss_fn(logits, labels) * len(labels)
+        correct += int((logits.argmax(axis=1) == labels).sum())
+    return correct / len(dataset), total_loss / len(dataset)
+
+
+def evaluate_state(
+    architecture,
+    group_sizes: Mapping[str, int],
+    state: Mapping[str, np.ndarray],
+    dataset: Dataset,
+    batch_size: int = 200,
+) -> tuple[float, float]:
+    """Evaluate a state dict by building the matching submodel first.
+
+    ``state`` may be the full global state dict (it is sliced down) or an
+    already-sliced submodel state dict.
+    """
+    from repro.core.pruning import slice_state_dict  # local import to avoid a cycle
+
+    model = architecture.build(group_sizes, rng=np.random.default_rng(0))
+    expected = model.state_dict()
+    already_sliced = all(np.asarray(state[name]).shape == value.shape for name, value in expected.items())
+    if already_sliced:
+        candidate = {name: np.asarray(state[name]) for name in expected}
+    else:
+        candidate = slice_state_dict(state, architecture, group_sizes)
+    model.load_state_dict(candidate)
+    return evaluate_model(model, dataset, batch_size)
+
+
+def communication_waste_rate(sent_sizes: list[int], returned_sizes: list[int]) -> float:
+    """Paper §4.4: ``1 - Σ size(returned) / Σ size(sent)``.
+
+    Zero means every dispatched parameter came back trained; a high rate
+    means devices had to discard much of what the server sent.
+    """
+    if len(sent_sizes) != len(returned_sizes):
+        raise ValueError("sent and returned size lists must align")
+    total_sent = float(sum(sent_sizes))
+    if total_sent <= 0:
+        raise ValueError("total dispatched size must be positive")
+    total_back = float(sum(returned_sizes))
+    return 1.0 - total_back / total_sent

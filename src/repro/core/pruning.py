@@ -1,0 +1,135 @@
+"""Fine-grained width-wise model pruning (paper §3.2).
+
+Two operations:
+
+* **Server-side splitting** — slice the global state dict into a submodel
+  state dict for a (``r_w``, ``I``) configuration (:func:`slice_state_dict`
+  / :func:`extract_submodel_state`).  Submodels keep the *first*
+  ``round(d_k · r_w)`` channels of every pruned layer, so their parameters
+  are prefix blocks of the global tensors.
+* **Device-side resource-aware pruning** — given the submodel a device
+  received and its currently available resource budget Γ, choose the
+  largest reachable configuration not exceeding Γ
+  (:func:`resource_aware_prune`), implementing the paper's
+  ``argmax size(prune(W; r_w, I)) s.t. size ≤ Γ, I ≥ τ``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.model_pool import ModelPool, SubmodelConfig
+from repro.nn.models.spec import ParamSpec, SlimmableArchitecture
+
+__all__ = [
+    "slice_tensor",
+    "slice_state_dict",
+    "extract_submodel_state",
+    "build_submodel",
+    "resource_aware_prune",
+]
+
+
+def slice_tensor(tensor: np.ndarray, spec: ParamSpec, group_sizes: Mapping[str, int]) -> np.ndarray:
+    """Prefix-slice one tensor according to its parameter spec.
+
+    Axis 0 is cut to the out-group size and axis 1 (if tied to a group) to
+    the in-group size times ``in_repeat``; remaining axes (conv kernels)
+    are untouched.
+    """
+    result = tensor
+    if spec.out_group is not None:
+        keep = group_sizes[spec.out_group]
+        if keep > tensor.shape[0]:
+            raise ValueError(
+                f"cannot keep {keep} output channels of {spec.name!r} with shape {tensor.shape}"
+            )
+        result = result[:keep]
+    if spec.in_group is not None and tensor.ndim > 1:
+        keep = group_sizes[spec.in_group] * spec.in_repeat
+        if keep > tensor.shape[1]:
+            raise ValueError(
+                f"cannot keep {keep} input channels of {spec.name!r} with shape {tensor.shape}"
+            )
+        result = result[:, :keep]
+    return np.ascontiguousarray(result)
+
+
+def slice_state_dict(
+    state: Mapping[str, np.ndarray],
+    architecture: SlimmableArchitecture,
+    group_sizes: Mapping[str, int],
+) -> dict[str, np.ndarray]:
+    """Slice a full state dict down to a submodel's channel configuration."""
+    architecture.validate_group_sizes(group_sizes)
+    sliced: dict[str, np.ndarray] = {}
+    for spec in architecture.param_specs():
+        if spec.name not in state:
+            raise KeyError(f"state dict is missing {spec.name!r}")
+        sliced[spec.name] = slice_tensor(np.asarray(state[spec.name]), spec, group_sizes)
+    return sliced
+
+
+def extract_submodel_state(
+    state: Mapping[str, np.ndarray],
+    pool: ModelPool,
+    config: SubmodelConfig,
+) -> dict[str, np.ndarray]:
+    """Slice the global state dict for one model-pool entry."""
+    return slice_state_dict(state, pool.architecture, pool.group_sizes(config))
+
+
+def build_submodel(
+    pool: ModelPool,
+    config: SubmodelConfig,
+    state: Mapping[str, np.ndarray] | None = None,
+    rng: np.random.Generator | None = None,
+):
+    """Instantiate the network of a pool entry, optionally loading weights.
+
+    ``state`` may be either the *global* state dict (it is sliced first) or
+    an already-sliced submodel state dict.
+    """
+    group_sizes = pool.group_sizes(config)
+    model = pool.architecture.build(group_sizes, rng=rng)
+    if state is not None:
+        expected = model.state_dict()
+        already_sliced = all(
+            np.asarray(state[name]).shape == value.shape for name, value in expected.items()
+        )
+        if already_sliced:
+            candidate = {name: np.asarray(state[name]) for name in expected}
+        else:
+            candidate = slice_state_dict(state, pool.architecture, group_sizes)
+        model.load_state_dict(candidate)
+    return model
+
+
+def resource_aware_prune(
+    pool: ModelPool,
+    received: SubmodelConfig,
+    available_capacity: float,
+) -> SubmodelConfig:
+    """Choose the configuration a device actually trains (paper §3.2).
+
+    Among the pool entries reachable by pruning the received model, return
+    the one with the largest parameter count that still fits the device's
+    available capacity Γ.  If even the smallest reachable entry exceeds Γ,
+    that smallest entry is returned (training proceeds with the smallest
+    model rather than failing, mirroring the paper's goal of never wasting
+    a dispatched model).
+    """
+    if available_capacity <= 0:
+        raise ValueError("available_capacity must be positive")
+    if received.num_params <= available_capacity:
+        # No pruning needed: the device trains exactly what it received.
+        return received
+    candidates = pool.prunable_to(received)
+    if not candidates:
+        raise RuntimeError(f"no pool entry is reachable from {received.name}")
+    fitting = [cfg for cfg in candidates if cfg.num_params <= available_capacity]
+    if fitting:
+        return max(fitting, key=lambda cfg: cfg.num_params)
+    return min(candidates, key=lambda cfg: cfg.num_params)

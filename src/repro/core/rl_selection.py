@@ -1,0 +1,152 @@
+"""RL-based client selection (paper §3.3 and Algorithm 1, lines 12-26).
+
+The server never observes device resources.  Instead it maintains two
+tables indexed by (model, client):
+
+* the **curiosity table** ``T_c`` (3 levels × clients) counts how often a
+  client has been involved with each model *level*; its MBIE-EB bonus
+  ``1/sqrt(T_c)`` spreads exploration across clients,
+* the **resource table** ``T_r`` ((2p+1) models × clients) scores how
+  successfully a client trains each pool entry, updated from the
+  ⟨dispatched, returned⟩ pair of every round.
+
+The final reward ``min(cap, R_s) · R_c`` (cap = 0.5 in the paper) turns
+into a selection probability by normalising over the still-unselected
+clients of the round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model_pool import LEVELS, ModelPool, SubmodelConfig
+
+__all__ = ["RLClientSelector"]
+
+
+class RLClientSelector:
+    """Curiosity- and resource-driven client selection."""
+
+    def __init__(
+        self,
+        pool: ModelPool,
+        num_clients: int,
+        strategy: str = "rl-cs",
+        resource_reward_cap: float = 0.5,
+    ):
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        valid = {"rl-cs", "rl-c", "rl-s", "random"}
+        if strategy not in valid:
+            raise ValueError(f"strategy must be one of {sorted(valid)}, got {strategy!r}")
+        if not 0.0 < resource_reward_cap <= 1.0:
+            raise ValueError("resource_reward_cap must be in (0, 1]")
+        self.pool = pool
+        self.num_clients = num_clients
+        self.strategy = strategy
+        self.resource_reward_cap = resource_reward_cap
+        self.models_per_level = pool.config.models_per_level
+        # Algorithm 1, lines 1-2: both tables start at one.
+        self.curiosity_table = np.ones((len(LEVELS), num_clients), dtype=np.float64)
+        self.resource_table = np.ones((len(pool), num_clients), dtype=np.float64)
+
+    # -- rewards -------------------------------------------------------------------
+    def _level_ranks(self, level: str) -> list[int]:
+        """Pool ranks belonging to one size level."""
+        return [cfg.rank for cfg in self.pool if cfg.level == level]
+
+    def resource_reward(self, model: SubmodelConfig, client: int) -> float:
+        """Paper's ``R_s``: success mass of the model's level, cumulated upward."""
+        column = self.resource_table[:, client]
+        total = float(column.sum())
+        if total <= 0:
+            return 0.0
+        numerator = 0.0
+        for rank in self._level_ranks(model.level):
+            numerator += float(column[rank:].sum())
+        return numerator / (self.models_per_level * total)
+
+    def curiosity_reward(self, model: SubmodelConfig, client: int) -> float:
+        """Paper's ``R_c``: MBIE-EB bonus ``1/sqrt(T_c[type(m)][c])``."""
+        level_index = self.pool.level_index(model.level)
+        count = self.curiosity_table[level_index, client]
+        return float(1.0 / np.sqrt(max(count, 1e-12)))
+
+    def combined_reward(self, model: SubmodelConfig, client: int) -> float:
+        """Strategy-dependent final reward for one (model, client) pair."""
+        if self.strategy == "random":
+            return 1.0
+        if self.strategy == "rl-c":
+            return self.curiosity_reward(model, client)
+        if self.strategy == "rl-s":
+            return self.resource_reward(model, client)
+        capped = min(self.resource_reward_cap, self.resource_reward(model, client))
+        return capped * self.curiosity_reward(model, client)
+
+    def selection_probabilities(self, model: SubmodelConfig, allowed: list[int]) -> np.ndarray:
+        """Normalised selection probabilities over the ``allowed`` clients."""
+        if not allowed:
+            raise ValueError("no clients available for selection")
+        rewards = np.array([self.combined_reward(model, client) for client in allowed], dtype=np.float64)
+        rewards = np.clip(rewards, 0.0, None)
+        total = rewards.sum()
+        if total <= 0:
+            return np.full(len(allowed), 1.0 / len(allowed))
+        return rewards / total
+
+    # -- selection -----------------------------------------------------------------
+    def select(
+        self,
+        model: SubmodelConfig,
+        rng: np.random.Generator,
+        excluded: set[int] | None = None,
+    ) -> int:
+        """Sample a client for ``model`` (Algorithm 1, ClientSel).
+
+        ``excluded`` holds clients already chosen in the current round so a
+        client trains at most one model per round.
+        """
+        excluded = excluded or set()
+        allowed = [client for client in range(self.num_clients) if client not in excluded]
+        if not allowed:
+            raise ValueError("every client is already selected this round")
+        probabilities = self.selection_probabilities(model, allowed)
+        choice = rng.choice(len(allowed), p=probabilities)
+        return int(allowed[choice])
+
+    # -- table updates --------------------------------------------------------------
+    def update(self, sent: SubmodelConfig, returned: SubmodelConfig, client: int) -> None:
+        """Apply Algorithm 1, lines 12-26, after a client's round finishes."""
+        if not 0 <= client < self.num_clients:
+            raise IndexError(f"client {client} out of range")
+        if returned.num_params > sent.num_params:
+            raise ValueError("a device cannot return a larger model than it received")
+
+        # Lines 12-13: curiosity counts for the dispatched and returned levels.
+        self.curiosity_table[self.pool.level_index(sent.level), client] += 1
+        self.curiosity_table[self.pool.level_index(returned.level), client] += 1
+
+        max_rank = len(self.pool) - 1
+        if sent.rank == returned.rank:
+            # Lines 15-18: the client handled the model unchanged, so every
+            # model at least as large gains confidence; the full model gains
+            # the extra p-1 bonus of line 18.
+            self.resource_table[sent.rank : max_rank + 1, client] += 1.0
+            self.resource_table[max_rank, client] += self.models_per_level - 1
+        else:
+            # Lines 20-25: the client had to prune, so the returned size is
+            # strongly reinforced and larger sizes are progressively
+            # penalised (floored at zero).
+            self.resource_table[returned.rank, client] += self.models_per_level
+            penalty = 0.0
+            for rank in range(returned.rank, max_rank + 1):
+                self.resource_table[rank, client] = max(self.resource_table[rank, client] - penalty, 0.0)
+                penalty += 1.0
+
+    # -- introspection ---------------------------------------------------------------
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copies of both tables (for logging, tests and ablation plots)."""
+        return {
+            "curiosity": self.curiosity_table.copy(),
+            "resource": self.resource_table.copy(),
+        }

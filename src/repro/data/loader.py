@@ -1,0 +1,52 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate a :class:`Dataset` in shuffled (or ordered) mini-batches.
+
+    The paper's local-training setup uses batch size 50; the loader keeps
+    the final short batch (``drop_last=False``) so small clients still see
+    all of their data.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 50,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        count = len(self.dataset)
+        order = self._rng.permutation(count) if self.shuffle else np.arange(count)
+        limit = count - (count % self.batch_size) if self.drop_last else count
+        for start in range(0, limit, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if batch.size == 0:
+                continue
+            yield self.dataset.images[batch], self.dataset.labels[batch]

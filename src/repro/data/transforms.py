@@ -1,0 +1,45 @@
+"""Simple input transforms (normalisation and light augmentation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize", "add_gaussian_noise", "random_crop_shift"]
+
+
+def normalize(images: np.ndarray, mean: float | None = None, std: float | None = None) -> np.ndarray:
+    """Standardise images to zero mean / unit variance (or given statistics)."""
+    images = np.asarray(images, dtype=np.float64)
+    mean = float(images.mean()) if mean is None else mean
+    std = float(images.std()) if std is None else std
+    if std <= 0:
+        raise ValueError("std must be positive")
+    return (images - mean) / std
+
+
+def add_gaussian_noise(images: np.ndarray, std: float, rng: np.random.Generator) -> np.ndarray:
+    """Additive Gaussian noise augmentation."""
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    if std == 0:
+        return images.copy()
+    return images + std * rng.normal(size=images.shape)
+
+
+def random_crop_shift(images: np.ndarray, max_shift: int, rng: np.random.Generator) -> np.ndarray:
+    """Random spatial shift with zero padding (cheap crop-style augmentation)."""
+    if max_shift < 0:
+        raise ValueError("max_shift must be non-negative")
+    if max_shift == 0:
+        return images.copy()
+    n, c, h, w = images.shape
+    out = np.zeros_like(images)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
+    for index in range(n):
+        dy, dx = int(shifts[index, 0]), int(shifts[index, 1])
+        src_y = slice(max(0, -dy), min(h, h - dy))
+        src_x = slice(max(0, -dx), min(w, w - dx))
+        dst_y = slice(max(0, dy), min(h, h + dy))
+        dst_x = slice(max(0, dx), min(w, w + dx))
+        out[index, :, dst_y, dst_x] = images[index, :, src_y, src_x]
+    return out

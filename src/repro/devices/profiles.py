@@ -1,0 +1,132 @@
+"""Static device capacity classes and client-to-class assignment.
+
+The paper's simulation uses three device classes — weak devices can only
+train small (S-level) models, medium devices can train medium or small
+models, and strong devices can train any model — mixed in a configurable
+proportion (4:3:3 by default, swept in Table 3).  Capacities are expressed
+as a fraction of the full global model's parameter count so the same
+classes work for every architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DeviceClass",
+    "DeviceProfile",
+    "DEFAULT_DEVICE_CLASSES",
+    "parse_proportion",
+    "assign_device_classes",
+    "build_device_profiles",
+]
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """A capacity class of AIoT devices.
+
+    ``capacity_fraction`` bounds the largest model (as a fraction of the
+    full global model's parameters) the device can train;
+    ``compute_speed`` is a relative throughput used by time-based
+    simulations (1.0 = workstation-class).
+    """
+
+    name: str
+    capacity_fraction: float
+    compute_speed: float = 1.0
+    memory_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.capacity_fraction:
+            raise ValueError("capacity_fraction must be positive")
+        if self.compute_speed <= 0:
+            raise ValueError("compute_speed must be positive")
+
+
+#: Default classes: weak devices fit the S-level models (≤ ~0.25× the full
+#: model), medium devices fit the M-level models (≤ ~0.5×), strong devices
+#: fit everything.  The fractions sit halfway between the level sizes of
+#: Table 1 so the fine-grained (I-adjusted) variants discriminate devices.
+DEFAULT_DEVICE_CLASSES: dict[str, DeviceClass] = {
+    "weak": DeviceClass("weak", capacity_fraction=0.30, compute_speed=0.12, memory_gb=2.0),
+    "medium": DeviceClass("medium", capacity_fraction=0.55, compute_speed=0.35, memory_gb=8.0),
+    "strong": DeviceClass("strong", capacity_fraction=1.00, compute_speed=1.0, memory_gb=32.0),
+}
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One client's static device profile."""
+
+    client_id: int
+    device_class: DeviceClass
+
+    @property
+    def class_name(self) -> str:
+        return self.device_class.name
+
+    def nominal_capacity(self, full_model_params: int) -> float:
+        """Largest parameter count this device can nominally train."""
+        return self.device_class.capacity_fraction * full_model_params
+
+
+def parse_proportion(proportion: str | tuple[float, float, float]) -> tuple[float, float, float]:
+    """Parse a weak:medium:strong mix such as ``"4:3:3"`` into fractions."""
+    if isinstance(proportion, str):
+        parts = [float(piece) for piece in proportion.split(":")]
+    else:
+        parts = [float(piece) for piece in proportion]
+    if len(parts) != 3:
+        raise ValueError("proportion needs exactly three entries (weak:medium:strong)")
+    if any(part < 0 for part in parts) or sum(parts) <= 0:
+        raise ValueError("proportion entries must be non-negative and not all zero")
+    total = sum(parts)
+    return tuple(part / total for part in parts)  # type: ignore[return-value]
+
+
+def assign_device_classes(
+    num_clients: int,
+    proportion: str | tuple[float, float, float] = "4:3:3",
+    rng: np.random.Generator | None = None,
+    classes: dict[str, DeviceClass] | None = None,
+) -> list[DeviceClass]:
+    """Assign a device class to every client following the given proportion.
+
+    Counts are apportioned deterministically (largest remainder) and the
+    class order is shuffled with ``rng`` so class membership is not
+    correlated with client id.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    classes = classes if classes is not None else DEFAULT_DEVICE_CLASSES
+    weak_frac, medium_frac, strong_frac = parse_proportion(proportion)
+    fractions = {"weak": weak_frac, "medium": medium_frac, "strong": strong_frac}
+
+    exact = {name: fraction * num_clients for name, fraction in fractions.items()}
+    counts = {name: int(np.floor(value)) for name, value in exact.items()}
+    remainder = num_clients - sum(counts.values())
+    by_fraction = sorted(exact, key=lambda name: exact[name] - counts[name], reverse=True)
+    for name in by_fraction[:remainder]:
+        counts[name] += 1
+
+    assigned: list[DeviceClass] = []
+    for name in ("weak", "medium", "strong"):
+        assigned.extend([classes[name]] * counts[name])
+    if rng is not None:
+        order = rng.permutation(len(assigned))
+        assigned = [assigned[index] for index in order]
+    return assigned
+
+
+def build_device_profiles(
+    num_clients: int,
+    proportion: str | tuple[float, float, float] = "4:3:3",
+    rng: np.random.Generator | None = None,
+    classes: dict[str, DeviceClass] | None = None,
+) -> list[DeviceProfile]:
+    """Create one :class:`DeviceProfile` per client."""
+    assigned = assign_device_classes(num_clients, proportion, rng, classes)
+    return [DeviceProfile(client_id=index, device_class=cls) for index, cls in enumerate(assigned)]

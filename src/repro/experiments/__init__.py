@@ -1,0 +1,44 @@
+"""Experiment harness: configurations, runners and report rendering."""
+
+from repro.experiments.reporting import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    format_table,
+    render_accuracy_table,
+    render_learning_curves,
+    render_waste_table,
+)
+from repro.experiments.runner import ALL_ALGORITHM_NAMES, AlgorithmResult, run_algorithm, run_comparison
+from repro.experiments.scaling import SCALES, ExperimentScale, get_scale
+from repro.experiments.settings import (
+    DATASET_BUILDERS,
+    ExperimentSetting,
+    PreparedExperiment,
+    paper_pool_config,
+    prepare_experiment,
+    vgg16_table1_settings,
+)
+
+__all__ = [
+    "ExperimentSetting",
+    "PreparedExperiment",
+    "prepare_experiment",
+    "paper_pool_config",
+    "vgg16_table1_settings",
+    "DATASET_BUILDERS",
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "AlgorithmResult",
+    "run_algorithm",
+    "run_comparison",
+    "ALL_ALGORITHM_NAMES",
+    "format_table",
+    "render_accuracy_table",
+    "render_learning_curves",
+    "render_waste_table",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+]

@@ -1,0 +1,177 @@
+"""Text rendering of the paper's tables and figures plus paper-reported numbers.
+
+Each ``render_*`` helper produces the rows/series the corresponding table
+or figure of the paper reports, so benchmark output can be compared line
+by line with the publication.  ``PAPER_TABLE2`` etc. hold the published
+numbers used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "format_table",
+    "render_accuracy_table",
+    "render_learning_curves",
+    "render_waste_table",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [[h] for h in headers]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(value).ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_accuracy_table(results: Mapping[str, object], title: str = "") -> str:
+    """Table-2-style rows: algorithm, avg accuracy, full accuracy."""
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                f"{getattr(result, 'avg_accuracy', float('nan')) * 100:.2f}",
+                f"{getattr(result, 'full_accuracy', float('nan')) * 100:.2f}",
+            ]
+        )
+    table = format_table(["algorithm", "avg (%)", "full (%)"], rows)
+    return f"{title}\n{table}" if title else table
+
+
+def render_learning_curves(results: Mapping[str, object], kind: str = "avg") -> str:
+    """Figure-2-style series: per-algorithm (round, accuracy) points."""
+    lines = []
+    for name, result in results.items():
+        history = getattr(result, "history", result)
+        rounds, values = history.accuracy_curve(kind)
+        series = ", ".join(f"({r}, {v * 100:.1f})" for r, v in zip(rounds, values))
+        lines.append(f"{name}: {series}")
+    return "\n".join(lines)
+
+
+def render_waste_table(results: Mapping[str, object]) -> str:
+    """Figure-5a-style rows: algorithm and mean communication-waste rate."""
+    rows = []
+    for name, result in results.items():
+        waste = getattr(result, "communication_waste", None)
+        if waste is None:
+            history = getattr(result, "history", result)
+            waste = history.mean_communication_waste()
+        rows.append([name, f"{waste * 100:.2f}"])
+    return format_table(["algorithm", "communication waste (%)"], rows)
+
+
+#: Paper Table 2 (test accuracy %, avg/full) — VGG16 and ResNet18 rows.
+PAPER_TABLE2: dict[str, dict[str, dict[str, tuple[float | None, float]]]] = {
+    "vgg16": {
+        "cifar10-iid": {
+            "all_large": (None, 79.76),
+            "decoupled": (75.02, 69.80),
+            "heterofl": (77.98, 74.96),
+            "scalefl": (79.94, 78.12),
+            "adaptivefl": (82.97, 83.14),
+        },
+        "cifar10-a0.6": {
+            "all_large": (None, 77.29),
+            "decoupled": (72.95, 67.58),
+            "heterofl": (75.18, 72.69),
+            "scalefl": (76.08, 75.07),
+            "adaptivefl": (81.12, 81.31),
+        },
+        "cifar10-a0.3": {
+            "all_large": (None, 74.95),
+            "decoupled": (69.11, 62.91),
+            "heterofl": (71.18, 67.59),
+            "scalefl": (71.71, 70.42),
+            "adaptivefl": (78.85, 78.99),
+        },
+        "cifar100-iid": {
+            "all_large": (None, 40.71),
+            "decoupled": (33.66, 26.67),
+            "heterofl": (32.22, 28.13),
+            "scalefl": (31.86, 32.17),
+            "adaptivefl": (40.61, 40.93),
+        },
+        "femnist": {
+            "all_large": (None, 85.21),
+            "decoupled": (78.45, 70.13),
+            "heterofl": (77.69, 71.75),
+            "scalefl": (71.58, 67.36),
+            "adaptivefl": (87.38, 88.13),
+        },
+    },
+    "resnet18": {
+        "cifar10-iid": {
+            "all_large": (None, 68.37),
+            "decoupled": (63.23, 55.56),
+            "heterofl": (70.44, 65.37),
+            "scalefl": (76.34, 76.51),
+            "adaptivefl": (77.14, 77.20),
+        },
+        "cifar100-iid": {
+            "all_large": (None, 35.08),
+            "decoupled": (24.58, 22.35),
+            "heterofl": (30.43, 27.74),
+            "scalefl": (40.30, 40.46),
+            "adaptivefl": (41.09, 41.15),
+        },
+        "femnist": {
+            "all_large": (None, 83.94),
+            "decoupled": (74.37, 65.20),
+            "heterofl": (77.50, 69.35),
+            "scalefl": (83.64, 83.79),
+            "adaptivefl": (87.11, 87.30),
+        },
+    },
+}
+
+#: Paper Table 3 (CIFAR-10, VGG16): accuracy (avg/full) per device proportion.
+PAPER_TABLE3: dict[str, dict[str, tuple[float | None, float]]] = {
+    "4:3:3": {
+        "all_large": (None, 79.76),
+        "heterofl": (77.98, 74.96),
+        "scalefl": (79.94, 78.12),
+        "adaptivefl": (82.95, 83.14),
+    },
+    "8:1:1": {
+        "all_large": (None, 79.76),
+        "heterofl": (72.43, 64.44),
+        "scalefl": (75.89, 72.03),
+        "adaptivefl": (81.62, 81.93),
+    },
+    "1:8:1": {
+        "all_large": (None, 79.76),
+        "heterofl": (75.94, 65.96),
+        "scalefl": (78.40, 72.30),
+        "adaptivefl": (82.78, 82.89),
+    },
+    "1:1:8": {
+        "all_large": (None, 79.76),
+        "heterofl": (81.26, 81.12),
+        "scalefl": (82.55, 82.81),
+        "adaptivefl": (82.82, 83.24),
+    },
+}
+
+#: Paper Table 4 (ablation of fine-grained pruning, "full" accuracy).
+PAPER_TABLE4: dict[str, dict[str, dict[str, float]]] = {
+    "cifar10": {
+        "vgg16": {"coarse-iid": 80.10, "fine-iid": 83.14, "coarse-a0.3": 74.27, "fine-a0.3": 78.99},
+        "resnet18": {"coarse-iid": 72.43, "fine-iid": 77.20, "coarse-a0.3": 66.07, "fine-a0.3": 70.97},
+    },
+    "cifar100": {
+        "vgg16": {"coarse-iid": 38.91, "fine-iid": 40.93, "coarse-a0.3": 39.29, "fine-a0.3": 41.17},
+        "resnet18": {"coarse-iid": 31.77, "fine-iid": 41.15, "coarse-a0.3": 34.73, "fine-a0.3": 39.65},
+    },
+}

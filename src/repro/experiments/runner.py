@@ -1,0 +1,84 @@
+"""End-to-end experiment execution.
+
+``run_algorithm`` instantiates one algorithm on a prepared experiment and
+trains it; ``run_comparison`` does the same for a list of algorithms on
+the *same* data/partition/devices so the comparison is paired, as in the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import ALGORITHMS
+from repro.core.history import TrainingHistory
+from repro.core.server import AdaptiveFL
+from repro.devices.testbed import TestbedSimulator
+from repro.experiments.settings import ExperimentSetting, PreparedExperiment, prepare_experiment
+
+__all__ = ["AlgorithmResult", "run_algorithm", "run_comparison", "ALL_ALGORITHM_NAMES"]
+
+ALL_ALGORITHM_NAMES = ("all_large", "decoupled", "heterofl", "scalefl", "adaptivefl")
+
+
+@dataclass
+class AlgorithmResult:
+    """Summary of one algorithm's run on one experiment setting."""
+
+    algorithm: str
+    history: TrainingHistory
+    full_accuracy: float
+    avg_accuracy: float
+    communication_waste: float
+
+    @classmethod
+    def from_history(cls, algorithm: str, history: TrainingHistory) -> "AlgorithmResult":
+        return cls(
+            algorithm=algorithm,
+            history=history,
+            full_accuracy=history.final_accuracy("full"),
+            avg_accuracy=history.final_accuracy("avg"),
+            communication_waste=history.mean_communication_waste(),
+        )
+
+
+def run_algorithm(
+    name: str,
+    prepared: PreparedExperiment,
+    selection_strategy: str = "rl-cs",
+    num_rounds: int | None = None,
+    testbed: TestbedSimulator | None = None,
+) -> AlgorithmResult:
+    """Train one algorithm (``"adaptivefl"`` or a baseline name)."""
+    kwargs = prepared.algorithm_kwargs()
+    if testbed is not None:
+        kwargs["testbed"] = testbed
+    if name == "adaptivefl":
+        algorithm = AdaptiveFL(
+            algorithm_config=prepared.adaptivefl_config(selection_strategy),
+            pool_config=prepared.pool_config,
+            **kwargs,
+        )
+    elif name in ALGORITHMS:
+        if name != "heterofl":
+            kwargs["pool_config"] = prepared.pool_config
+        algorithm = ALGORITHMS[name](**kwargs)
+    else:
+        raise KeyError(f"unknown algorithm {name!r}; available: {ALL_ALGORITHM_NAMES}")
+    history = algorithm.run(num_rounds=num_rounds)
+    label = name if name != "adaptivefl" or selection_strategy == "rl-cs" else f"adaptivefl+{selection_strategy}"
+    return AlgorithmResult.from_history(label, history)
+
+
+def run_comparison(
+    setting: ExperimentSetting,
+    algorithms: tuple[str, ...] = ALL_ALGORITHM_NAMES,
+    num_rounds: int | None = None,
+    testbed: TestbedSimulator | None = None,
+) -> dict[str, AlgorithmResult]:
+    """Run several algorithms on the identical prepared experiment."""
+    results: dict[str, AlgorithmResult] = {}
+    for name in algorithms:
+        prepared = prepare_experiment(setting)
+        results[name] = run_algorithm(name, prepared, num_rounds=num_rounds, testbed=testbed)
+    return results

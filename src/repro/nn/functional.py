@@ -1,0 +1,267 @@
+"""Stateless numerical operations used by the layers.
+
+The convolution is implemented with the classic im2col/col2im lowering so
+both forward and backward passes are expressed as large matrix multiplies,
+which is the only way to get acceptable throughput out of numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pad2d",
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "depthwise_conv2d_forward",
+    "depthwise_conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "avgpool2d_forward",
+    "avgpool2d_backward",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a conv/pool along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size ({out}) for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
+    """Unfold an NCHW tensor into a matrix of receptive-field columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kh * kw)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    xp = pad2d(x, padding)
+
+    # Strided view: (N, C, out_h, out_w, kh, kw)
+    s = xp.strides
+    shape = (n, c, out_h, out_w, kh, kw)
+    strides = (s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3])
+    patches = np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a column matrix back into an NCHW tensor, accumulating overlaps.
+
+    This is the adjoint of :func:`im2col` and is used in the convolution
+    backward pass to produce the gradient with respect to the input.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+
+    patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    xp = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            xp[:, :, i:i_max:stride, j:j_max:stride] += patches[:, :, :, :, i, j]
+    if padding == 0:
+        return xp
+    return xp[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, tuple]:
+    """Standard (dense) 2-D convolution forward pass.
+
+    ``weight`` has shape ``(C_out, C_in, kh, kw)``.  Returns the output and a
+    cache used by :func:`conv2d_backward`.
+    """
+    n = x.shape[0]
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ValueError(f"input has {x.shape[1]} channels, weight expects {c_in}")
+    cols, out_h, out_w = im2col(x, kh, kw, stride, padding)
+    w_mat = weight.reshape(c_out, -1)
+    out = cols @ w_mat.T
+    if bias is not None:
+        out = out + bias
+    out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    cache = (x.shape, cols, weight, stride, padding)
+    return out, cache
+
+
+def conv2d_backward(grad_out: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(grad_x, grad_weight, grad_bias)``.
+    """
+    x_shape, cols, weight, stride, padding = cache
+    c_out, c_in, kh, kw = weight.shape
+    n = grad_out.shape[0]
+
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c_out)
+    grad_bias = grad_flat.sum(axis=0)
+    grad_w = (grad_flat.T @ cols).reshape(c_out, c_in, kh, kw)
+    grad_cols = grad_flat @ weight.reshape(c_out, -1)
+    grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+    return grad_x, grad_w, grad_bias
+
+
+def depthwise_conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, tuple]:
+    """Depthwise 2-D convolution (one filter per input channel).
+
+    ``weight`` has shape ``(C, 1, kh, kw)``; channel ``c`` of the output is
+    produced only from channel ``c`` of the input, as used by MobileNetV2.
+    """
+    n, c, h, w = x.shape
+    if weight.shape[0] != c or weight.shape[1] != 1:
+        raise ValueError(f"depthwise weight shape {weight.shape} incompatible with {c} input channels")
+    kh, kw = weight.shape[2], weight.shape[3]
+    cols, out_h, out_w = im2col(x, kh, kw, stride, padding)
+    # cols: (N*oh*ow, C*kh*kw) -> (N*oh*ow, C, kh*kw)
+    cols_c = cols.reshape(-1, c, kh * kw)
+    w_mat = weight.reshape(c, kh * kw)
+    out = np.einsum("pck,ck->pc", cols_c, w_mat)
+    if bias is not None:
+        out = out + bias
+    out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+    cache = (x.shape, cols_c, weight, stride, padding)
+    return out, cache
+
+
+def depthwise_conv2d_backward(grad_out: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`depthwise_conv2d_forward`."""
+    x_shape, cols_c, weight, stride, padding = cache
+    c = weight.shape[0]
+    kh, kw = weight.shape[2], weight.shape[3]
+
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c)
+    grad_bias = grad_flat.sum(axis=0)
+    grad_w = np.einsum("pc,pck->ck", grad_flat, cols_c).reshape(c, 1, kh, kw)
+    grad_cols_c = np.einsum("pc,ck->pck", grad_flat, weight.reshape(c, kh * kw))
+    grad_cols = grad_cols_c.reshape(grad_flat.shape[0], c * kh * kw)
+    grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+    return grad_x, grad_w, grad_bias
+
+
+def maxpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, tuple]:
+    """Max pooling forward pass (no padding)."""
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    s = x.strides
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    strides = (s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3])
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    flat = patches.reshape(n, c, out_h, out_w, kernel * kernel)
+    argmax = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+    cache = (x.shape, argmax, kernel, stride)
+    return out, cache
+
+
+def maxpool2d_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    """Backward pass of :func:`maxpool2d_forward`."""
+    x_shape, argmax, kernel, stride = cache
+    n, c, h, w = x_shape
+    out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+    grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+
+    ki = argmax // kernel
+    kj = argmax % kernel
+    oi = np.arange(out_h)[None, None, :, None]
+    oj = np.arange(out_w)[None, None, None, :]
+    rows = oi * stride + ki
+    cols = oj * stride + kj
+    ni = np.arange(n)[:, None, None, None]
+    ci = np.arange(c)[None, :, None, None]
+    np.add.at(grad_x, (ni, ci, rows, cols), grad_out)
+    return grad_x
+
+
+def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, tuple]:
+    """Average pooling forward pass (no padding)."""
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    s = x.strides
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    strides = (s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3])
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    out = patches.mean(axis=(4, 5))
+    cache = (x.shape, kernel, stride)
+    return out, cache
+
+
+def avgpool2d_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    """Backward pass of :func:`avgpool2d_forward`."""
+    x_shape, kernel, stride = cache
+    n, c, h, w = x_shape
+    out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+    grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+    share = grad_out / (kernel * kernel)
+    for i in range(kernel):
+        for j in range(kernel):
+            grad_x[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += share
+    return grad_x
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer label vector."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError(f"labels out of range for {num_classes} classes")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

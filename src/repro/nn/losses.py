@@ -1,0 +1,90 @@
+"""Loss functions.
+
+Each loss exposes ``forward(logits, targets) -> float`` and
+``backward() -> grad_logits``; the gradient is averaged over the batch so it
+can be fed straight into ``model.backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+__all__ = ["CrossEntropyLoss", "KLDivergenceLoss", "accuracy"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+        num_classes = logits.shape[1]
+        target_dist = F.one_hot(targets, num_classes)
+        if self.label_smoothing > 0.0:
+            eps = self.label_smoothing
+            target_dist = target_dist * (1.0 - eps) + eps / num_classes
+        log_probs = F.log_softmax(logits, axis=1)
+        loss = -(target_dist * log_probs).sum(axis=1).mean()
+        self._cache = (F.softmax(logits, axis=1), target_dist)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, target_dist = self._cache
+        self._cache = None
+        return (probs - target_dist) / probs.shape[0]
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+class KLDivergenceLoss:
+    """KL(teacher || student) between softened distributions.
+
+    Used by the ScaleFL baseline for self-distillation between the deepest
+    exit (teacher) and earlier exits (students).  Only the student logits
+    receive a gradient; the teacher distribution is treated as a constant.
+    """
+
+    def __init__(self, temperature: float = 1.0):
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, student_logits: np.ndarray, teacher_logits: np.ndarray) -> float:
+        t = self.temperature
+        teacher = F.softmax(teacher_logits / t, axis=1)
+        student_log = F.log_softmax(student_logits / t, axis=1)
+        teacher_log = F.log_softmax(teacher_logits / t, axis=1)
+        loss = (teacher * (teacher_log - student_log)).sum(axis=1).mean() * (t * t)
+        self._cache = (F.softmax(student_logits / t, axis=1), teacher)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        student, teacher = self._cache
+        self._cache = None
+        # d/d(student_logits) of KL with the temperature-squared scaling.
+        return (student - teacher) * self.temperature / student.shape[0]
+
+    def __call__(self, student_logits: np.ndarray, teacher_logits: np.ndarray) -> float:
+        return self.forward(student_logits, teacher_logits)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of logits against integer labels."""
+    if logits.shape[0] == 0:
+        return 0.0
+    predictions = logits.argmax(axis=1)
+    return float((predictions == np.asarray(targets)).mean())

@@ -1,0 +1,44 @@
+"""Architecture registry: build slimmable architectures by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.models.mobilenet import SlimmableMobileNetV2
+from repro.nn.models.resnet import SlimmableResNet18
+from repro.nn.models.simple_cnn import SlimmableSimpleCNN
+from repro.nn.models.spec import SlimmableArchitecture
+from repro.nn.models.vgg import SlimmableVGG
+
+__all__ = ["create_architecture", "available_architectures", "register_architecture"]
+
+_FACTORIES: dict[str, Callable[..., SlimmableArchitecture]] = {
+    "vgg16": lambda **kw: SlimmableVGG(config="vgg16", **kw),
+    "vgg11": lambda **kw: SlimmableVGG(config="vgg11", **kw),
+    "resnet18": SlimmableResNet18,
+    "mobilenetv2": SlimmableMobileNetV2,
+    "simple_cnn": SlimmableSimpleCNN,
+}
+
+
+def available_architectures() -> list[str]:
+    """Names accepted by :func:`create_architecture`."""
+    return sorted(_FACTORIES)
+
+
+def register_architecture(name: str, factory: Callable[..., SlimmableArchitecture]) -> None:
+    """Register a custom slimmable architecture factory under ``name``."""
+    if name in _FACTORIES:
+        raise ValueError(f"architecture {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def create_architecture(name: str, **kwargs) -> SlimmableArchitecture:
+    """Instantiate a slimmable architecture by registry name.
+
+    Keyword arguments are forwarded to the architecture constructor
+    (``num_classes``, ``input_shape``, ``width_multiplier``, ...).
+    """
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown architecture {name!r}; available: {available_architectures()}")
+    return _FACTORIES[name](**kwargs)

@@ -1,0 +1,147 @@
+"""Baseline algorithm tests: All-Large, Decoupled, HeteroFL, ScaleFL."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALGORITHMS, AllLargeFedAvg, DecoupledFL, HeteroFL, ScaleFL, create_algorithm
+from repro.baselines.base import capacity_level_assignment
+from repro.baselines.scalefl import calibrate_width_ratio, two_dimensional_group_sizes
+
+
+def build_baseline(cls, tiny_cnn, tiny_federated_setup, fast_configs, **extra):
+    setup = tiny_federated_setup
+    kwargs = dict(
+        architecture=tiny_cnn,
+        train_dataset=setup["train"],
+        partition=setup["partition"],
+        test_dataset=setup["test"],
+        profiles=setup["profiles"],
+        federated_config=fast_configs["federated"],
+        local_config=fast_configs["local"],
+        resource_model=setup["resource_model"],
+        seed=0,
+    )
+    if cls is not HeteroFL:
+        kwargs["pool_config"] = fast_configs["pool"]
+    kwargs.update(extra)
+    return cls(**kwargs)
+
+
+class TestRegistry:
+    def test_algorithm_names(self):
+        assert set(ALGORITHMS) == {"all_large", "decoupled", "heterofl", "scalefl"}
+
+    def test_create_algorithm_unknown(self):
+        with pytest.raises(KeyError):
+            create_algorithm("fedprox")
+
+
+class TestAllLarge:
+    def test_dispatches_full_model_with_zero_waste(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(AllLargeFedAvg, tiny_cnn, tiny_federated_setup, fast_configs)
+        record = algorithm.run_round(0)
+        assert all(name == "L1" for name in record.dispatched)
+        assert record.communication_waste == pytest.approx(0.0)
+
+    def test_round_changes_global_state(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(AllLargeFedAvg, tiny_cnn, tiny_federated_setup, fast_configs)
+        before = {k: v.copy() for k, v in algorithm.global_state.items()}
+        algorithm.run_round(0)
+        assert any(not np.allclose(algorithm.global_state[k], before[k]) for k in before)
+
+    def test_run_produces_history(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(AllLargeFedAvg, tiny_cnn, tiny_federated_setup, fast_configs)
+        history = algorithm.run()
+        assert history.final_accuracy("full") >= 0.0
+
+
+class TestDecoupled:
+    def test_levels_stay_isolated(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        """A round that only trains one level must leave the other level states
+        untouched — the defining property of the Decoupled baseline."""
+        algorithm = build_baseline(DecoupledFL, tiny_cnn, tiny_federated_setup, fast_configs)
+        before = {level: {k: v.copy() for k, v in state.items()} for level, state in algorithm.level_states.items()}
+        record = algorithm.run_round(0)
+        trained_levels = {name[0] for name in record.dispatched}
+        for level, state in algorithm.level_states.items():
+            changed = any(not np.allclose(state[k], before[level][k]) for k in state)
+            if level in trained_levels:
+                assert changed
+            else:
+                assert not changed
+
+    def test_assignment_respects_capacity(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(DecoupledFL, tiny_cnn, tiny_federated_setup, fast_configs)
+        for client_id, level in algorithm.client_level.items():
+            capacity = algorithm.resource_model.nominal_capacity(client_id)
+            smallest = min(algorithm.level_heads.values(), key=lambda cfg: cfg.num_params)
+            assigned = algorithm.level_heads[level]
+            assert assigned.num_params <= capacity or assigned.name == smallest.name
+
+    def test_evaluation_uses_per_level_states(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(DecoupledFL, tiny_cnn, tiny_federated_setup, fast_configs)
+        algorithm.run_round(0)
+        full_accuracy, level_accuracies = algorithm.evaluate()
+        assert set(level_accuracies) == {"S", "M", "L"}
+        assert 0.0 <= full_accuracy <= 1.0
+
+
+class TestHeteroFL:
+    def test_every_layer_pruned_in_small_level(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(HeteroFL, tiny_cnn, tiny_federated_setup, fast_configs)
+        small_sizes = algorithm.pool.group_sizes(algorithm.level_heads["S"])
+        full_sizes = algorithm.architecture.full_group_sizes()
+        assert all(small_sizes[name] < full_sizes[name] for name in full_sizes if full_sizes[name] > 1)
+
+    def test_static_assignment_and_waste_free_rounds(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(HeteroFL, tiny_cnn, tiny_federated_setup, fast_configs)
+        record = algorithm.run_round(0)
+        assert record.communication_waste == pytest.approx(0.0)
+        for client_id, name in zip(record.selected_clients, record.dispatched):
+            assert name == f"{algorithm.client_level[client_id]}1"
+
+    def test_run_loop(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(HeteroFL, tiny_cnn, tiny_federated_setup, fast_configs)
+        history = algorithm.run()
+        assert len(history) == fast_configs["federated"].num_rounds
+
+
+class TestScaleFL:
+    def test_two_dimensional_sizes(self, tiny_cnn):
+        sizes = two_dimensional_group_sizes(tiny_cnn, width_ratio=0.5, depth_fraction=0.5, tail_ratio=0.1)
+        max_layer = tiny_cnn.num_prunable_layers()
+        cutoff = int(np.ceil(0.5 * max_layer))
+        for group in tiny_cnn.channel_groups():
+            if group.layer_index <= cutoff:
+                assert sizes[group.name] == max(1, int(group.full_size * 0.5))
+            else:
+                assert sizes[group.name] <= max(1, int(group.full_size * 0.1) + 1)
+
+    def test_calibration_hits_target_budget(self, tiny_vgg):
+        width = calibrate_width_ratio(tiny_vgg, target_fraction=0.5, depth_fraction=0.75, tail_ratio=0.15)
+        sizes = two_dimensional_group_sizes(tiny_vgg, width, 0.75, 0.15)
+        fraction = tiny_vgg.parameter_count(sizes) / tiny_vgg.parameter_count()
+        assert fraction == pytest.approx(0.5, abs=0.08)
+
+    def test_level_budgets_ordered(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(ScaleFL, tiny_cnn, tiny_federated_setup, fast_configs)
+        assert algorithm.level_params["S"] < algorithm.level_params["M"] < algorithm.level_params["L"]
+        assert algorithm.level_params["L"] == tiny_cnn.parameter_count()
+
+    def test_round_and_evaluation(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(ScaleFL, tiny_cnn, tiny_federated_setup, fast_configs)
+        record = algorithm.run_round(0)
+        assert len(record.dispatched) == fast_configs["federated"].clients_per_round
+        full_accuracy, level_accuracies = algorithm.evaluate()
+        assert set(level_accuracies) == {"S", "M", "L"}
+        assert 0.0 <= full_accuracy <= 1.0
+
+
+class TestCapacityAssignment:
+    def test_largest_affordable_level_chosen(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = build_baseline(AllLargeFedAvg, tiny_cnn, tiny_federated_setup, fast_configs)
+        levels = {"S": 10, "M": 1_000, "L": 10**9}
+        assignment = capacity_level_assignment(algorithm, levels)
+        for client_id, level in assignment.items():
+            capacity = algorithm.resource_model.nominal_capacity(client_id)
+            assert levels[level] <= capacity or level == "S"

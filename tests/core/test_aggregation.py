@@ -1,0 +1,115 @@
+"""Heterogeneous aggregation tests (Algorithm 2 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous, fedavg_aggregate
+from repro.core.pruning import extract_submodel_state
+
+
+class TestAggregateHeterogeneous:
+    def test_single_full_update_replaces_global(self):
+        global_state = {"w": np.zeros((4, 4))}
+        update = ClientUpdate({"w": np.ones((4, 4))}, num_samples=10)
+        merged = aggregate_heterogeneous(global_state, [update])
+        assert np.allclose(merged["w"], 1.0)
+
+    def test_uncovered_elements_keep_old_values(self):
+        global_state = {"w": np.full((4, 4), 7.0)}
+        update = ClientUpdate({"w": np.ones((2, 2))}, num_samples=5)
+        merged = aggregate_heterogeneous(global_state, [update])
+        assert np.allclose(merged["w"][:2, :2], 1.0)
+        assert np.allclose(merged["w"][2:, :], 7.0)
+        assert np.allclose(merged["w"][:2, 2:], 7.0)
+
+    def test_data_size_weighting(self):
+        global_state = {"w": np.zeros(2)}
+        updates = [
+            ClientUpdate({"w": np.array([1.0, 1.0])}, num_samples=30),
+            ClientUpdate({"w": np.array([4.0, 4.0])}, num_samples=10),
+        ]
+        merged = aggregate_heterogeneous(global_state, updates)
+        assert np.allclose(merged["w"], (30 * 1 + 10 * 4) / 40)
+
+    def test_overlap_region_mixes_only_contributors(self):
+        """Small update covers a prefix; large update covers everything.  The
+        suffix must average only the large update."""
+        global_state = {"w": np.zeros(4)}
+        updates = [
+            ClientUpdate({"w": np.array([2.0, 2.0])}, num_samples=1),
+            ClientUpdate({"w": np.array([4.0, 4.0, 4.0, 4.0])}, num_samples=1),
+        ]
+        merged = aggregate_heterogeneous(global_state, updates)
+        assert np.allclose(merged["w"][:2], 3.0)
+        assert np.allclose(merged["w"][2:], 4.0)
+
+    def test_no_updates_returns_copy(self):
+        global_state = {"w": np.ones(3)}
+        merged = aggregate_heterogeneous(global_state, [])
+        assert np.allclose(merged["w"], 1.0)
+        merged["w"] += 1
+        assert np.allclose(global_state["w"], 1.0)
+
+    def test_non_prefix_shape_raises(self):
+        global_state = {"w": np.zeros((2, 2))}
+        update = ClientUpdate({"w": np.zeros((3, 2))}, num_samples=1)
+        with pytest.raises(ValueError):
+            aggregate_heterogeneous(global_state, [update])
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            ClientUpdate({"w": np.zeros(2)}, num_samples=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+        weights=st.lists(st.integers(1, 50), min_size=1, max_size=4),
+    )
+    def test_identical_updates_are_a_fixed_point(self, sizes, weights):
+        """Property: aggregating identical prefix updates reproduces their
+        values exactly in the covered region, regardless of weights."""
+        count = min(len(sizes), len(weights))
+        global_state = {"w": np.zeros(8)}
+        value = np.arange(1.0, 9.0)
+        updates = [
+            ClientUpdate({"w": value[: sizes[i]].copy()}, num_samples=weights[i]) for i in range(count)
+        ]
+        merged = aggregate_heterogeneous(global_state, updates)
+        covered = max(sizes[:count])
+        assert np.allclose(merged["w"][:covered], value[:covered])
+        assert np.allclose(merged["w"][covered:], 0.0)
+
+    def test_with_real_submodel_states(self, tiny_pool):
+        """Aggregating slices of the same global model must leave it unchanged."""
+        global_state = tiny_pool.architecture.build(rng=np.random.default_rng(0)).state_dict()
+        updates = [
+            ClientUpdate(extract_submodel_state(global_state, tiny_pool, tiny_pool.by_name(name)), num_samples=n)
+            for name, n in [("S3", 10), ("M2", 20), ("L1", 5)]
+        ]
+        merged = aggregate_heterogeneous(global_state, updates)
+        for name, value in merged.items():
+            assert np.allclose(value, global_state[name], atol=1e-12)
+
+
+class TestFedAvg:
+    def test_weighted_mean(self):
+        updates = [
+            ClientUpdate({"w": np.array([0.0])}, num_samples=1),
+            ClientUpdate({"w": np.array([10.0])}, num_samples=3),
+        ]
+        merged = fedavg_aggregate(updates)
+        assert merged["w"][0] == pytest.approx(7.5)
+
+    def test_requires_updates(self):
+        with pytest.raises(ValueError):
+            fedavg_aggregate([])
+
+    def test_heterogeneous_shapes_rejected(self):
+        updates = [
+            ClientUpdate({"w": np.zeros(2)}, num_samples=1),
+            ClientUpdate({"w": np.zeros(3)}, num_samples=1),
+        ]
+        with pytest.raises(ValueError):
+            fedavg_aggregate(updates)

@@ -1,0 +1,114 @@
+"""Metric and history bookkeeping tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import RoundRecord, TrainingHistory
+from repro.core.metrics import communication_waste_rate, evaluate_model, evaluate_state
+from repro.data.datasets import Dataset
+
+
+class TestCommunicationWaste:
+    def test_zero_when_nothing_pruned(self):
+        assert communication_waste_rate([10, 20], [10, 20]) == pytest.approx(0.0)
+
+    def test_value(self):
+        # sent 100, returned 75 -> 25% waste
+        assert communication_waste_rate([60, 40], [45, 30]) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            communication_waste_rate([1, 2], [1])
+        with pytest.raises(ValueError):
+            communication_waste_rate([], [])
+
+
+class TestEvaluate:
+    def test_perfect_model_scores_one(self, tiny_cnn):
+        """A model whose logits are forced to the right class must score 1.0."""
+        model = tiny_cnn.build(rng=np.random.default_rng(0))
+        images = np.random.default_rng(1).normal(size=(20, *tiny_cnn.input_shape))
+        labels = np.random.default_rng(2).integers(0, tiny_cnn.num_classes, size=20)
+        dataset = Dataset(images, labels, tiny_cnn.num_classes)
+        accuracy, loss = evaluate_model(model, dataset, batch_size=8)
+        assert 0.0 <= accuracy <= 1.0
+        assert loss > 0.0
+
+    def test_evaluate_state_accepts_full_and_sliced_states(self, tiny_cnn, tiny_pool):
+        global_state = tiny_cnn.build(rng=np.random.default_rng(0)).state_dict()
+        images = np.random.default_rng(1).normal(size=(12, *tiny_cnn.input_shape))
+        labels = np.random.default_rng(2).integers(0, tiny_cnn.num_classes, size=12)
+        dataset = Dataset(images, labels, tiny_cnn.num_classes)
+        sizes = tiny_pool.group_sizes(tiny_pool.by_name("S1"))
+
+        from repro.core.pruning import slice_state_dict
+
+        acc_from_full, _ = evaluate_state(tiny_cnn, sizes, global_state, dataset, batch_size=6)
+        acc_from_sliced, _ = evaluate_state(
+            tiny_cnn, sizes, slice_state_dict(global_state, tiny_cnn, sizes), dataset, batch_size=6
+        )
+        assert acc_from_full == pytest.approx(acc_from_sliced)
+
+    def test_empty_dataset_rejected(self, tiny_cnn):
+        model = tiny_cnn.build()
+        empty = Dataset(np.zeros((0, *tiny_cnn.input_shape)), np.zeros(0, dtype=int), tiny_cnn.num_classes)
+        with pytest.raises(ValueError):
+            evaluate_model(model, empty)
+
+
+class TestTrainingHistory:
+    def build_history(self):
+        history = TrainingHistory("demo")
+        for round_index, accuracy in enumerate([0.2, 0.4, 0.35]):
+            record = RoundRecord(
+                round_index=round_index,
+                full_accuracy=accuracy,
+                avg_accuracy=accuracy - 0.05,
+                level_accuracies={"S": accuracy - 0.1, "M": accuracy, "L": accuracy},
+                communication_waste=0.1 * (round_index + 1),
+                wall_clock_seconds=10.0,
+            )
+            history.append(record)
+        return history
+
+    def test_accuracy_curves(self):
+        history = self.build_history()
+        rounds, values = history.accuracy_curve("full")
+        assert rounds == [0, 1, 2]
+        assert values == [0.2, 0.4, 0.35]
+
+    def test_final_accuracy_is_best(self):
+        assert self.build_history().final_accuracy("full") == pytest.approx(0.4)
+
+    def test_time_curve_accumulates(self):
+        seconds, values = self.build_history().time_curve("full")
+        assert seconds == [10.0, 20.0, 30.0]
+        assert len(values) == 3
+
+    def test_mean_waste(self):
+        assert self.build_history().mean_communication_waste() == pytest.approx(0.2)
+
+    def test_monotone_round_indices_enforced(self):
+        history = self.build_history()
+        with pytest.raises(ValueError):
+            history.append(RoundRecord(round_index=1))
+
+    def test_unevaluated_rounds_excluded_from_curves(self):
+        history = TrainingHistory("demo")
+        history.append(RoundRecord(round_index=0))
+        history.append(RoundRecord(round_index=1, full_accuracy=0.5, avg_accuracy=0.4))
+        rounds, values = history.accuracy_curve("full")
+        assert rounds == [1]
+
+    def test_empty_history_errors(self):
+        history = TrainingHistory("demo")
+        with pytest.raises(ValueError):
+            history.final_accuracy()
+        with pytest.raises(ValueError):
+            history.mean_communication_waste()
+
+    def test_to_dict_roundtrip(self):
+        payload = self.build_history().to_dict()
+        assert payload["algorithm"] == "demo"
+        assert len(payload["rounds"]) == 3
+        assert payload["rounds"][1]["full_accuracy"] == 0.4

@@ -1,0 +1,79 @@
+"""Model-pool construction tests."""
+
+import pytest
+
+from repro.core.config import ModelPoolConfig
+from repro.core.model_pool import ModelPool
+
+
+class TestModelPoolConfig:
+    def test_defaults_match_paper(self):
+        config = ModelPoolConfig()
+        assert config.models_per_level == 3
+        assert config.level_width_ratios == {"L": 1.0, "M": 0.66, "S": 0.40}
+        assert config.start_layers == (8, 6, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelPoolConfig(models_per_level=0)
+        with pytest.raises(ValueError):
+            ModelPoolConfig(level_width_ratios={"L": 0.9, "M": 0.66, "S": 0.4})
+        with pytest.raises(ValueError):
+            ModelPoolConfig(level_width_ratios={"L": 1.0, "M": 0.3, "S": 0.4})
+        with pytest.raises(ValueError):
+            ModelPoolConfig(start_layers=(4, 6, 8))
+        with pytest.raises(ValueError):
+            ModelPoolConfig(start_layers=(8, 6, 2), min_start_layer=4)
+
+
+class TestModelPool:
+    def test_contains_2p_plus_1_entries(self, tiny_pool):
+        assert len(tiny_pool) == 7
+
+    def test_sorted_by_size_with_full_model_last(self, tiny_pool):
+        sizes = [cfg.num_params for cfg in tiny_pool]
+        assert sizes == sorted(sizes)
+        assert tiny_pool.full_config.name == "L1"
+        assert tiny_pool.full_config.num_params == tiny_pool.architecture.parameter_count()
+
+    def test_ranks_are_consecutive(self, tiny_pool):
+        assert [cfg.rank for cfg in tiny_pool] == list(range(7))
+
+    def test_level_heads(self, tiny_pool):
+        heads = tiny_pool.level_heads()
+        assert set(heads) == {"S", "M", "L"}
+        assert heads["S"].num_params < heads["M"].num_params < heads["L"].num_params
+
+    def test_by_name_and_rank(self, tiny_pool):
+        cfg = tiny_pool.by_name("M1")
+        assert tiny_pool.by_rank(cfg.rank).name == "M1"
+        with pytest.raises(KeyError):
+            tiny_pool.by_name("XL9")
+
+    def test_pool_spans_a_wide_size_range(self, tiny_pool):
+        """The pool must offer meaningfully smaller options than the full model
+        so weak devices (30% capacity) always have something to train; the
+        paper-exact 0.25x/0.5x level fractions are asserted on VGG16 in
+        tests/nn/test_models.py::TestVGGTable1."""
+        full = tiny_pool.full_config.num_params
+        smallest = tiny_pool.by_rank(0)
+        assert smallest.num_params <= 0.45 * full
+        heads = tiny_pool.level_heads()
+        assert heads["S"].num_params <= heads["M"].num_params <= heads["L"].num_params
+
+    def test_fits_within_is_reflexive_and_respects_levels(self, tiny_pool):
+        for cfg in tiny_pool:
+            assert tiny_pool.fits_within(cfg, cfg)
+            assert tiny_pool.fits_within(cfg, tiny_pool.full_config)
+
+    def test_prunable_to_full_model_is_everything(self, tiny_pool):
+        reachable = tiny_pool.prunable_to(tiny_pool.full_config)
+        assert len(reachable) == len(tiny_pool)
+
+    def test_start_layer_must_be_shallower_than_model(self, tiny_cnn):
+        with pytest.raises(ValueError):
+            ModelPool(tiny_cnn, ModelPoolConfig(models_per_level=1, start_layers=(5,), min_start_layer=1))
+
+    def test_group_sizes_full_for_l1(self, tiny_pool):
+        sizes = tiny_pool.group_sizes(tiny_pool.full_config)
+        assert sizes == tiny_pool.architecture.full_group_sizes()

@@ -1,0 +1,138 @@
+"""Fine-grained width-wise pruning tests (paper §3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pruning import (
+    build_submodel,
+    extract_submodel_state,
+    resource_aware_prune,
+    slice_state_dict,
+    slice_tensor,
+)
+from repro.nn.models.spec import ParamSpec
+
+
+class TestSliceTensor:
+    def test_out_and_in_axes(self):
+        tensor = np.arange(24).reshape(4, 6)
+        spec = ParamSpec("w", out_group="a", in_group="b")
+        out = slice_tensor(tensor, spec, {"a": 2, "b": 3})
+        assert out.shape == (2, 3)
+        assert np.allclose(out, tensor[:2, :3])
+
+    def test_in_repeat_for_flattened_features(self):
+        tensor = np.arange(4 * 12).reshape(4, 12)
+        spec = ParamSpec("w", out_group="fc", in_group="conv", in_repeat=4)
+        out = slice_tensor(tensor, spec, {"fc": 4, "conv": 2})
+        assert out.shape == (4, 8)
+        assert np.allclose(out, tensor[:, :8])
+
+    def test_ungrouped_axes_untouched(self):
+        tensor = np.zeros((8, 4, 3, 3))
+        spec = ParamSpec("w", out_group="a", in_group=None)
+        assert slice_tensor(tensor, spec, {"a": 5}).shape == (5, 4, 3, 3)
+
+    def test_oversized_request_raises(self):
+        tensor = np.zeros((4, 4))
+        spec = ParamSpec("w", out_group="a", in_group=None)
+        with pytest.raises(ValueError):
+            slice_tensor(tensor, spec, {"a": 9})
+
+
+class TestSliceStateDict:
+    def test_shapes_match_built_submodel(self, tiny_cnn):
+        full_state = tiny_cnn.build(rng=np.random.default_rng(0)).state_dict()
+        sizes = tiny_cnn.group_sizes_for(0.5, 1)
+        sliced = slice_state_dict(full_state, tiny_cnn, sizes)
+        submodel = tiny_cnn.build(sizes, rng=np.random.default_rng(1))
+        expected = submodel.state_dict()
+        assert set(sliced) == set(expected)
+        for name in expected:
+            assert sliced[name].shape == expected[name].shape
+
+    def test_sliced_values_are_prefixes_of_global(self, tiny_cnn):
+        full_state = tiny_cnn.build(rng=np.random.default_rng(0)).state_dict()
+        sizes = tiny_cnn.group_sizes_for(0.4, 1)
+        sliced = slice_state_dict(full_state, tiny_cnn, sizes)
+        for name, tensor in sliced.items():
+            region = tuple(slice(0, extent) for extent in tensor.shape)
+            assert np.allclose(tensor, np.asarray(full_state[name])[region])
+
+    def test_missing_key_raises(self, tiny_cnn):
+        full_state = tiny_cnn.build(rng=np.random.default_rng(0)).state_dict()
+        full_state.pop(next(iter(full_state)))
+        with pytest.raises(KeyError):
+            slice_state_dict(full_state, tiny_cnn, tiny_cnn.full_group_sizes())
+
+    @settings(max_examples=8, deadline=None)
+    @given(ratio=st.sampled_from([0.3, 0.4, 0.5, 0.66, 0.8]), start=st.integers(1, 2))
+    def test_pruned_submodel_forward_matches_head_of_levels(self, tiny_cnn, ratio, start):
+        """Property: slicing then building always yields a runnable model whose
+        parameter count equals the spec-predicted count."""
+        full_state = tiny_cnn.build(rng=np.random.default_rng(0)).state_dict()
+        sizes = tiny_cnn.group_sizes_for(ratio, start)
+        model = tiny_cnn.build(sizes, rng=np.random.default_rng(2))
+        model.load_state_dict(slice_state_dict(full_state, tiny_cnn, sizes))
+        x = np.random.default_rng(3).normal(size=(2, *tiny_cnn.input_shape))
+        assert model(x).shape == (2, tiny_cnn.num_classes)
+
+
+class TestExtractAndBuild:
+    def test_extract_submodel_state(self, tiny_pool):
+        global_state = tiny_pool.architecture.build(rng=np.random.default_rng(0)).state_dict()
+        config = tiny_pool.by_name("S1")
+        state = extract_submodel_state(global_state, tiny_pool, config)
+        model = build_submodel(tiny_pool, config, state)
+        assert model.state_dict().keys() == state.keys()
+
+    def test_build_submodel_accepts_global_state(self, tiny_pool):
+        global_state = tiny_pool.architecture.build(rng=np.random.default_rng(0)).state_dict()
+        config = tiny_pool.by_name("M2")
+        model = build_submodel(tiny_pool, config, global_state)
+        sliced = extract_submodel_state(global_state, tiny_pool, config)
+        for name, value in model.state_dict().items():
+            assert np.allclose(value, sliced[name])
+
+    def test_full_model_roundtrip_preserves_weights(self, tiny_pool):
+        global_state = tiny_pool.architecture.build(rng=np.random.default_rng(0)).state_dict()
+        model = build_submodel(tiny_pool, tiny_pool.full_config, global_state)
+        for name, value in model.state_dict().items():
+            assert np.allclose(value, global_state[name])
+
+
+class TestResourceAwarePruning:
+    def test_keeps_received_model_when_capacity_sufficient(self, tiny_pool):
+        received = tiny_pool.by_name("M1")
+        chosen = resource_aware_prune(tiny_pool, received, available_capacity=received.num_params + 1)
+        assert chosen.name == "M1"
+
+    def test_prunes_to_largest_fitting_model(self, tiny_pool):
+        received = tiny_pool.full_config
+        s_head = tiny_pool.level_heads()["S"]
+        capacity = s_head.num_params + 1
+        chosen = resource_aware_prune(tiny_pool, received, capacity)
+        assert chosen.num_params <= capacity
+        # it must be the *largest* reachable model under the budget
+        for cfg in tiny_pool.prunable_to(received):
+            if cfg.num_params <= capacity:
+                assert cfg.num_params <= chosen.num_params
+
+    def test_falls_back_to_smallest_when_nothing_fits(self, tiny_pool):
+        received = tiny_pool.full_config
+        chosen = resource_aware_prune(tiny_pool, received, available_capacity=1)
+        reachable = tiny_pool.prunable_to(received)
+        assert chosen.num_params == min(cfg.num_params for cfg in reachable)
+
+    def test_never_returns_larger_than_received(self, tiny_pool):
+        for received in tiny_pool:
+            chosen = resource_aware_prune(tiny_pool, received, available_capacity=10**12)
+            assert chosen.num_params <= received.num_params
+            # with unlimited capacity the device trains exactly what it received
+            assert chosen.name == received.name
+
+    def test_invalid_capacity(self, tiny_pool):
+        with pytest.raises(ValueError):
+            resource_aware_prune(tiny_pool, tiny_pool.full_config, 0)

@@ -1,0 +1,158 @@
+"""RL-based client selection tests (paper §3.3 / Algorithm 1 lines 12-26)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rl_selection import RLClientSelector
+
+
+@pytest.fixture
+def selector(tiny_pool):
+    return RLClientSelector(tiny_pool, num_clients=6, strategy="rl-cs")
+
+
+class TestInitialisation:
+    def test_tables_start_at_one(self, selector, tiny_pool):
+        assert selector.curiosity_table.shape == (3, 6)
+        assert selector.resource_table.shape == (len(tiny_pool), 6)
+        assert np.allclose(selector.curiosity_table, 1.0)
+        assert np.allclose(selector.resource_table, 1.0)
+
+    def test_invalid_arguments(self, tiny_pool):
+        with pytest.raises(ValueError):
+            RLClientSelector(tiny_pool, num_clients=0)
+        with pytest.raises(ValueError):
+            RLClientSelector(tiny_pool, num_clients=3, strategy="greedy")
+        with pytest.raises(ValueError):
+            RLClientSelector(tiny_pool, num_clients=3, resource_reward_cap=0.0)
+
+
+class TestRewards:
+    def test_initial_rewards_are_uniform_across_clients(self, selector, tiny_pool):
+        model = tiny_pool.by_name("M1")
+        rewards = [selector.combined_reward(model, c) for c in range(6)]
+        assert max(rewards) == pytest.approx(min(rewards))
+
+    def test_curiosity_reward_decreases_with_selection_count(self, selector, tiny_pool):
+        model = tiny_pool.by_name("S1")
+        before = selector.curiosity_reward(model, 0)
+        selector.curiosity_table[tiny_pool.level_index("S"), 0] = 9.0
+        after = selector.curiosity_reward(model, 0)
+        assert after == pytest.approx(1.0 / 3.0)
+        assert after < before
+
+    def test_resource_reward_grows_with_success(self, selector, tiny_pool):
+        model = tiny_pool.by_name("L1")
+        before = selector.resource_reward(model, 1)
+        # client 1 repeatedly succeeds at training L1 unchanged
+        for _ in range(5):
+            selector.update(tiny_pool.full_config, tiny_pool.full_config, 1)
+        after = selector.resource_reward(model, 1)
+        assert after > before
+
+    def test_resource_reward_cap_limits_combined_reward(self, tiny_pool):
+        selector = RLClientSelector(tiny_pool, num_clients=3, strategy="rl-cs", resource_reward_cap=0.5)
+        # inflate client 0's success scores to push R_s well beyond the cap;
+        # the S level sums over all three of its ranks so its reward can
+        # exceed the 0.5 cap once the whole column is saturated.
+        selector.resource_table[:, 0] = 1000.0
+        model = tiny_pool.level_heads()["S"]
+        assert selector.resource_reward(model, 0) > 0.5
+        combined = selector.combined_reward(model, 0)
+        assert combined <= 0.5 * selector.curiosity_reward(model, 0) + 1e-12
+
+    def test_probabilities_normalised(self, selector, tiny_pool):
+        probabilities = selector.selection_probabilities(tiny_pool.by_name("S2"), list(range(6)))
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert (probabilities >= 0).all()
+
+
+class TestTableUpdates:
+    def test_curiosity_counts_both_levels(self, selector, tiny_pool):
+        sent = tiny_pool.by_name("L1")
+        returned = tiny_pool.by_name("S1")
+        selector.update(sent, returned, client=2)
+        assert selector.curiosity_table[tiny_pool.level_index("L"), 2] == 2.0
+        assert selector.curiosity_table[tiny_pool.level_index("S"), 2] == 2.0
+        assert selector.curiosity_table[tiny_pool.level_index("M"), 2] == 1.0
+
+    def test_unpruned_return_increments_larger_models(self, selector, tiny_pool):
+        sent = tiny_pool.by_name("M2")
+        selector.update(sent, sent, client=0)
+        column = selector.resource_table[:, 0]
+        p = tiny_pool.config.models_per_level
+        for rank in range(len(tiny_pool)):
+            if rank < sent.rank:
+                assert column[rank] == 1.0
+            elif rank == len(tiny_pool) - 1:
+                # line 18: the full model additionally gains p-1
+                assert column[rank] == 1.0 + 1.0 + (p - 1)
+            else:
+                assert column[rank] == 2.0
+
+    def test_pruned_return_rewards_returned_size_and_penalises_larger(self, selector, tiny_pool):
+        sent = tiny_pool.full_config
+        returned = tiny_pool.by_name("S1")
+        selector.update(sent, returned, client=3)
+        column = selector.resource_table[:, 3]
+        p = tiny_pool.config.models_per_level
+        # returned rank gains +p then the penalty loop subtracts 0
+        assert column[returned.rank] == 1.0 + p
+        # strictly larger ranks are progressively penalised (floored at 0)
+        penalty = 1.0
+        for rank in range(returned.rank + 1, len(tiny_pool)):
+            assert column[rank] == max(1.0 - penalty, 0.0)
+            penalty += 1.0
+
+    def test_larger_return_than_sent_rejected(self, selector, tiny_pool):
+        with pytest.raises(ValueError):
+            selector.update(tiny_pool.by_name("S1"), tiny_pool.full_config, 0)
+
+    def test_updates_shift_selection_towards_capable_clients(self, tiny_pool):
+        """After client 0 repeatedly proves it can train L1 while client 1 keeps
+        pruning to S-level, L1 dispatches should prefer client 0."""
+        selector = RLClientSelector(tiny_pool, num_clients=2, strategy="rl-s")
+        for _ in range(10):
+            selector.update(tiny_pool.full_config, tiny_pool.full_config, 0)
+            selector.update(tiny_pool.full_config, tiny_pool.by_name("S3"), 1)
+        reward_capable = selector.resource_reward(tiny_pool.full_config, 0)
+        reward_weak = selector.resource_reward(tiny_pool.full_config, 1)
+        assert reward_capable > reward_weak
+
+
+class TestSelection:
+    def test_select_respects_exclusion(self, selector, tiny_pool):
+        rng = np.random.default_rng(0)
+        excluded = {0, 1, 2, 3, 4}
+        choice = selector.select(tiny_pool.by_name("S1"), rng, excluded=excluded)
+        assert choice == 5
+
+    def test_select_all_excluded_raises(self, selector, tiny_pool):
+        with pytest.raises(ValueError):
+            selector.select(tiny_pool.by_name("S1"), np.random.default_rng(0), excluded=set(range(6)))
+
+    def test_random_strategy_is_uniform(self, tiny_pool):
+        selector = RLClientSelector(tiny_pool, num_clients=4, strategy="random")
+        probabilities = selector.selection_probabilities(tiny_pool.by_name("M1"), [0, 1, 2, 3])
+        assert np.allclose(probabilities, 0.25)
+
+    def test_strategies_differ_after_updates(self, tiny_pool):
+        kwargs = dict(num_clients=3)
+        cs = RLClientSelector(tiny_pool, strategy="rl-cs", **kwargs)
+        c_only = RLClientSelector(tiny_pool, strategy="rl-c", **kwargs)
+        s_only = RLClientSelector(tiny_pool, strategy="rl-s", **kwargs)
+        for selector_instance in (cs, c_only, s_only):
+            for _ in range(4):
+                selector_instance.update(tiny_pool.full_config, tiny_pool.by_name("S2"), 0)
+                selector_instance.update(tiny_pool.full_config, tiny_pool.full_config, 1)
+        model = tiny_pool.full_config
+        p_cs = cs.selection_probabilities(model, [0, 1, 2])
+        p_c = c_only.selection_probabilities(model, [0, 1, 2])
+        p_s = s_only.selection_probabilities(model, [0, 1, 2])
+        assert not np.allclose(p_cs, p_c)
+        assert not np.allclose(p_c, p_s)
+
+    def test_snapshot_returns_copies(self, selector):
+        snap = selector.snapshot()
+        snap["curiosity"] += 100
+        assert np.allclose(selector.curiosity_table, 1.0)

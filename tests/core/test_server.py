@@ -1,0 +1,124 @@
+"""AdaptiveFL server / training-loop tests (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig
+from repro.core.server import AdaptiveFL
+
+
+def make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, strategy="rl-cs", seed=0):
+    config = AdaptiveFLConfig(
+        federated=fast_configs["federated"],
+        local=fast_configs["local"],
+        pool=fast_configs["pool"],
+        selection_strategy=strategy,
+    )
+    setup = tiny_federated_setup
+    return AdaptiveFL(
+        architecture=tiny_cnn,
+        train_dataset=setup["train"],
+        partition=setup["partition"],
+        test_dataset=setup["test"],
+        profiles=setup["profiles"],
+        resource_model=setup["resource_model"],
+        algorithm_config=config,
+        seed=seed,
+    )
+
+
+class TestConfig:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            AdaptiveFLConfig(selection_strategy="rl-x")
+
+    def test_federated_config_validation(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(num_rounds=0)
+        with pytest.raises(ValueError):
+            FederatedConfig(clients_per_round=0)
+
+
+class TestRound:
+    def test_round_record_contents(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs)
+        record = algorithm.run_round(0)
+        expected = fast_configs["federated"].clients_per_round
+        assert len(record.dispatched) == expected
+        assert len(record.returned) == expected
+        assert len(set(record.selected_clients)) == expected
+        assert 0.0 <= record.communication_waste <= 1.0
+        for sent_name, back_name in zip(record.dispatched, record.returned):
+            sent = algorithm.pool.by_name(sent_name)
+            back = algorithm.pool.by_name(back_name)
+            assert back.num_params <= sent.num_params
+
+    def test_round_updates_global_state_and_tables(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs)
+        before = {name: value.copy() for name, value in algorithm.global_state.items()}
+        curiosity_before = algorithm.selector.curiosity_table.copy()
+        algorithm.run_round(0)
+        changed = any(not np.allclose(algorithm.global_state[name], before[name]) for name in before)
+        assert changed
+        assert algorithm.selector.curiosity_table.sum() > curiosity_before.sum()
+
+    def test_greedy_always_dispatches_full_model(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, strategy="greedy")
+        record = algorithm.run_round(0)
+        assert all(name == "L1" for name in record.dispatched)
+
+    def test_greedy_has_higher_waste_than_rl(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        """The headline claim of Figure 5a: once the resource table has seen a
+        few rounds, the RL strategy wastes less communication than always
+        dispatching the full model."""
+        greedy = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, strategy="greedy")
+        rl = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, strategy="rl-s")
+        warmup, measured = 6, 8
+        greedy_rates = [greedy.run_round(r).communication_waste for r in range(warmup + measured)]
+        rl_rates = [rl.run_round(r).communication_waste for r in range(warmup + measured)]
+        assert np.mean(greedy_rates[warmup:]) > np.mean(rl_rates[warmup:])
+
+
+class TestRunLoop:
+    def test_history_and_evaluation_cadence(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs)
+        history = algorithm.run()
+        assert len(history) == fast_configs["federated"].num_rounds
+        evaluated = history.evaluated_records()
+        assert evaluated, "at least the final round must be evaluated"
+        final = evaluated[-1]
+        assert set(final.level_accuracies) == {"S", "M", "L"}
+        assert final.avg_accuracy == pytest.approx(np.mean(list(final.level_accuracies.values())))
+
+    def test_same_seed_reproduces_history(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        a = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, seed=11)
+        b = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, seed=11)
+        history_a = a.run()
+        history_b = b.run()
+        assert history_a.records[-1].full_accuracy == pytest.approx(history_b.records[-1].full_accuracy)
+        assert history_a.records[-1].selected_clients == history_b.records[-1].selected_clients
+
+    def test_different_seeds_differ(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        a = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, seed=1)
+        b = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, seed=2)
+        a.run()
+        b.run()
+        assert (
+            a.history.records[0].selected_clients != b.history.records[0].selected_clients
+            or a.history.records[0].dispatched != b.history.records[0].dispatched
+        )
+
+    def test_clients_per_round_cannot_exceed_clients(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        setup = tiny_federated_setup
+        bad = FederatedConfig(num_rounds=1, clients_per_round=setup["partition"].num_clients + 1)
+        config = AdaptiveFLConfig(federated=bad, local=fast_configs["local"], pool=fast_configs["pool"])
+        with pytest.raises(ValueError):
+            AdaptiveFL(
+                architecture=tiny_cnn,
+                train_dataset=setup["train"],
+                partition=setup["partition"],
+                test_dataset=setup["test"],
+                profiles=setup["profiles"],
+                resource_model=setup["resource_model"],
+                algorithm_config=config,
+            )

@@ -1,0 +1,122 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import (
+    Dataset,
+    SyntheticTaskConfig,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_femnist_like,
+    make_widar_like,
+    synthesize_classification_task,
+)
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 3, 8)), np.zeros(4), 10)  # not NCHW
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 3, 8, 8)), np.zeros(3), 10)  # label length mismatch
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 1, 4, 4)), np.array([0, 12]), 10)  # label out of range
+
+    def test_subset_and_counts(self):
+        images = np.zeros((6, 1, 4, 4))
+        labels = np.array([0, 1, 1, 2, 2, 2])
+        ds = Dataset(images, labels, 3)
+        sub = ds.subset(np.array([3, 4, 5]))
+        assert len(sub) == 3
+        assert np.all(sub.labels == 2)
+        assert list(ds.class_counts()) == [1, 2, 3]
+
+    def test_groups_propagate_through_subset(self):
+        ds = Dataset(np.zeros((4, 1, 2, 2)), np.array([0, 1, 0, 1]), 2, groups=np.array([0, 0, 1, 1]))
+        sub = ds.subset(np.array([2, 3]))
+        assert np.all(sub.groups == 1)
+
+
+class TestSynthesis:
+    def test_shapes_and_ranges(self):
+        config = SyntheticTaskConfig(num_classes=6, input_shape=(3, 12, 12), train_samples=120, test_samples=40, seed=0)
+        train, test = synthesize_classification_task(config)
+        assert train.images.shape == (120, 3, 12, 12)
+        assert test.images.shape == (40, 3, 12, 12)
+        assert train.labels.max() < 6 and train.labels.min() >= 0
+        assert train.num_classes == 6
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticTaskConfig(num_classes=4, input_shape=(1, 8, 8), train_samples=50, test_samples=20, seed=11)
+        a_train, _ = synthesize_classification_task(config)
+        b_train, _ = synthesize_classification_task(config)
+        assert np.allclose(a_train.images, b_train.images)
+        assert np.array_equal(a_train.labels, b_train.labels)
+
+    def test_different_seeds_differ(self):
+        base = dict(num_classes=4, input_shape=(1, 8, 8), train_samples=50, test_samples=20)
+        a_train, _ = synthesize_classification_task(SyntheticTaskConfig(seed=1, **base))
+        b_train, _ = synthesize_classification_task(SyntheticTaskConfig(seed=2, **base))
+        assert not np.allclose(a_train.images, b_train.images)
+
+    def test_task_is_learnable_by_nearest_prototype(self):
+        """A trivial nearest-class-mean classifier must beat chance by a wide
+        margin — otherwise the FL experiments could never separate methods."""
+        config = SyntheticTaskConfig(
+            num_classes=5, input_shape=(1, 8, 8), train_samples=500, test_samples=200,
+            clusters_per_class=1, noise_std=0.5, label_noise=0.0, seed=3,
+        )
+        train, test = synthesize_classification_task(config)
+        means = np.stack([train.images[train.labels == c].mean(axis=0).ravel() for c in range(5)])
+        flat = test.images.reshape(len(test), -1)
+        predictions = np.argmin(((flat[:, None, :] - means[None]) ** 2).sum(axis=2), axis=1)
+        accuracy = (predictions == test.labels).mean()
+        assert accuracy > 0.6
+
+    @settings(max_examples=10, deadline=None)
+    @given(label_noise=st.floats(0.0, 0.4))
+    def test_label_noise_bounds(self, label_noise):
+        config = SyntheticTaskConfig(
+            num_classes=3, input_shape=(1, 6, 6), train_samples=60, test_samples=20,
+            label_noise=label_noise, seed=0,
+        )
+        train, _ = synthesize_classification_task(config)
+        assert train.labels.min() >= 0 and train.labels.max() < 3
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SyntheticTaskConfig(num_classes=1, input_shape=(1, 8, 8), train_samples=10, test_samples=10)
+        with pytest.raises(ValueError):
+            SyntheticTaskConfig(num_classes=3, input_shape=(1, 8, 8), train_samples=0, test_samples=10)
+        with pytest.raises(ValueError):
+            SyntheticTaskConfig(num_classes=3, input_shape=(1, 8, 8), train_samples=10, test_samples=10, label_noise=0.7)
+
+
+class TestFactories:
+    def test_cifar10_like(self):
+        train, test = make_cifar10_like(train_samples=100, test_samples=40, image_size=16, seed=0)
+        assert train.input_shape == (3, 16, 16)
+        assert train.num_classes == 10
+
+    def test_cifar100_like(self):
+        train, _ = make_cifar100_like(train_samples=200, test_samples=40, image_size=16, seed=0)
+        assert train.num_classes == 100
+
+    def test_femnist_like_has_writer_groups(self):
+        train, _ = make_femnist_like(num_writers=12, train_samples=200, test_samples=40, image_size=16, seed=0)
+        assert train.num_classes == 62
+        assert train.groups is not None
+        assert len(np.unique(train.groups)) <= 12
+
+    def test_widar_like(self):
+        train, _ = make_widar_like(num_users=5, train_samples=100, test_samples=30, image_size=16, seed=0)
+        assert train.num_classes == 22
+        assert train.input_shape == (1, 16, 16)
+        assert train.groups is not None
+
+    def test_overrides_forwarded(self):
+        train, _ = make_cifar10_like(train_samples=50, test_samples=20, image_size=8, seed=0, num_classes=4)
+        assert train.num_classes == 4

@@ -1,0 +1,158 @@
+"""Partitioner, loader and transform tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import Dataset, make_cifar10_like, make_femnist_like
+from repro.data.loader import DataLoader
+from repro.data.partition import (
+    ClientPartition,
+    dirichlet_partition,
+    iid_partition,
+    natural_partition,
+    partition_dataset,
+)
+from repro.data.transforms import add_gaussian_noise, normalize, random_crop_shift
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    train, _ = make_cifar10_like(train_samples=600, test_samples=50, image_size=8, seed=0)
+    return train
+
+
+class TestIIDPartition:
+    def test_covers_dataset_disjointly(self, small_dataset):
+        partition = iid_partition(small_dataset, 10, np.random.default_rng(0))
+        partition.validate(small_dataset)
+        assert sum(partition.sizes()) == len(small_dataset)
+        assert partition.num_clients == 10
+
+    def test_sizes_balanced(self, small_dataset):
+        partition = iid_partition(small_dataset, 7, np.random.default_rng(0))
+        sizes = partition.sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_label_distribution_roughly_uniform(self, small_dataset):
+        partition = iid_partition(small_dataset, 5, np.random.default_rng(0))
+        table = partition.label_distribution(small_dataset)
+        # every client should see most classes under IID
+        assert (table > 0).mean() > 0.9
+
+
+class TestDirichletPartition:
+    @settings(max_examples=8, deadline=None)
+    @given(alpha=st.sampled_from([0.1, 0.3, 0.6, 1.0]))
+    def test_covers_dataset(self, small_dataset, alpha):
+        partition = dirichlet_partition(small_dataset, 8, alpha, np.random.default_rng(0))
+        partition.validate(small_dataset)
+        assert sum(partition.sizes()) == len(small_dataset)
+        assert min(partition.sizes()) >= 2
+
+    def test_smaller_alpha_is_more_skewed(self, small_dataset):
+        rng = np.random.default_rng(0)
+        skewed = dirichlet_partition(small_dataset, 8, 0.1, rng)
+        uniform = dirichlet_partition(small_dataset, 8, 100.0, np.random.default_rng(0))
+
+        def mean_entropy(partition):
+            table = partition.label_distribution(small_dataset).astype(float)
+            table = table / np.clip(table.sum(axis=1, keepdims=True), 1, None)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                entropy = -(table * np.log(np.clip(table, 1e-12, None))).sum(axis=1)
+            return entropy.mean()
+
+        assert mean_entropy(skewed) < mean_entropy(uniform)
+
+    def test_invalid_alpha(self, small_dataset):
+        with pytest.raises(ValueError):
+            dirichlet_partition(small_dataset, 4, 0.0, np.random.default_rng(0))
+
+
+class TestNaturalPartition:
+    def test_groups_stay_together(self):
+        train, _ = make_femnist_like(num_writers=12, train_samples=300, test_samples=50, image_size=8, seed=0)
+        partition = natural_partition(train, 6, np.random.default_rng(0))
+        partition.validate(train)
+        for indices in partition.client_indices:
+            groups_here = set(train.groups[indices])
+            for other in partition.client_indices:
+                if other is indices:
+                    continue
+                assert groups_here.isdisjoint(set(train.groups[other]))
+
+    def test_requires_group_ids(self, small_dataset):
+        with pytest.raises(ValueError):
+            natural_partition(small_dataset, 4, np.random.default_rng(0))
+
+    def test_too_many_clients_raises(self):
+        train, _ = make_femnist_like(num_writers=4, train_samples=100, test_samples=20, image_size=8, seed=0)
+        with pytest.raises(ValueError):
+            natural_partition(train, 10, np.random.default_rng(0))
+
+
+class TestPartitionDispatch:
+    def test_dispatch(self, small_dataset):
+        rng = np.random.default_rng(0)
+        assert partition_dataset(small_dataset, 4, "iid", rng).num_clients == 4
+        assert partition_dataset(small_dataset, 4, "dirichlet", rng, alpha=0.5).num_clients == 4
+        with pytest.raises(ValueError):
+            partition_dataset(small_dataset, 4, "dirichlet", rng)
+        with pytest.raises(ValueError):
+            partition_dataset(small_dataset, 4, "unknown", rng)
+
+    def test_partition_validation_catches_overlap(self, small_dataset):
+        partition = ClientPartition([np.array([0, 1]), np.array([1, 2])])
+        with pytest.raises(ValueError):
+            partition.validate(small_dataset)
+
+
+class TestDataLoader:
+    def test_batch_count_and_shapes(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=64, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == len(loader)
+        assert sum(len(y) for _, y in batches) == len(small_dataset)
+        assert batches[0][0].shape[1:] == small_dataset.input_shape
+
+    def test_drop_last(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=64, shuffle=False, drop_last=True)
+        assert all(len(y) == 64 for _, y in loader)
+
+    def test_shuffle_changes_order_but_not_content(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=len(small_dataset), shuffle=True, rng=np.random.default_rng(0))
+        (images, labels), = list(loader)
+        assert sorted(labels.tolist()) == sorted(small_dataset.labels.tolist())
+        assert not np.array_equal(labels, small_dataset.labels)
+
+    def test_invalid_batch_size(self, small_dataset):
+        with pytest.raises(ValueError):
+            DataLoader(small_dataset, batch_size=0)
+
+
+class TestTransforms:
+    def test_normalize(self):
+        images = np.random.default_rng(0).normal(loc=5, scale=3, size=(10, 1, 4, 4))
+        out = normalize(images)
+        assert abs(out.mean()) < 1e-9
+        assert abs(out.std() - 1.0) < 1e-9
+
+    def test_add_gaussian_noise_zero_std_is_copy(self):
+        images = np.ones((2, 1, 3, 3))
+        out = add_gaussian_noise(images, 0.0, np.random.default_rng(0))
+        assert np.allclose(out, images)
+        assert out is not images
+
+    def test_random_crop_shift_preserves_shape(self):
+        images = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        out = random_crop_shift(images, 2, np.random.default_rng(1))
+        assert out.shape == images.shape
+
+    def test_transform_validation(self):
+        with pytest.raises(ValueError):
+            normalize(np.ones((2, 1, 2, 2)), std=0.0)
+        with pytest.raises(ValueError):
+            add_gaussian_noise(np.ones((1, 1, 2, 2)), -1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            random_crop_shift(np.ones((1, 1, 2, 2)), -1, np.random.default_rng(0))

@@ -1,0 +1,138 @@
+"""Unit and property tests of the stateless numerical operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 2, 2, 0) == 16
+        assert F.conv_output_size(28, 5, 1, 2) == 28
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        cols, oh, ow = F.im2col(x, 3, 3, 1, 1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_identity_kernel_recovers_input(self):
+        x = np.random.default_rng(1).normal(size=(1, 2, 5, 5))
+        cols, oh, ow = F.im2col(x, 1, 1, 1, 0)
+        assert np.allclose(cols.reshape(1, 5, 5, 2).transpose(0, 3, 1, 2), x)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 4),
+        size=st.integers(4, 9),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+    )
+    def test_col2im_is_adjoint_of_im2col(self, n, c, size, kernel, stride, padding):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y (adjoint property)."""
+        if size + 2 * padding < kernel:
+            return
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(n, c, size, size))
+        cols, _, _ = F.im2col(x, kernel, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = F.col2im(y, x.shape, kernel, kernel, stride, padding)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestConvForward:
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=3)
+        out, _ = F.conv2d_forward(x, w, b, stride=1, padding=1)
+
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.zeros((1, 3, 5, 5))
+        for co in range(3):
+            for i in range(5):
+                for j in range(5):
+                    expected[0, co, i, j] = (xp[0, :, i : i + 3, j : j + 3] * w[co]).sum() + b[co]
+        assert np.allclose(out, expected)
+
+    def test_channel_mismatch_raises(self):
+        x = np.zeros((1, 3, 5, 5))
+        w = np.zeros((2, 4, 3, 3))
+        with pytest.raises(ValueError):
+            F.conv2d_forward(x, w, None, 1, 1)
+
+
+class TestDepthwiseConv:
+    def test_each_channel_independent(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 3, 6, 6))
+        w = rng.normal(size=(3, 1, 3, 3))
+        out, _ = F.depthwise_conv2d_forward(x, w, None, 1, 1)
+        # channel c of the output must equal a dense conv restricted to channel c
+        for c in range(3):
+            dense, _ = F.conv2d_forward(x[:, c : c + 1], w[c : c + 1], None, 1, 1)
+            assert np.allclose(out[:, c : c + 1], dense)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out, _ = F.maxpool2d_forward(x, 2, 2)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out, cache = F.maxpool2d_forward(x, 2, 2)
+        grad = F.maxpool2d_backward(np.ones_like(out), cache)
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, 1, 1] = expected[0, 0, 1, 3] = expected[0, 0, 3, 1] = expected[0, 0, 3, 3] = 1
+        assert np.allclose(grad, expected)
+
+    def test_avgpool_values_and_backward(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out, cache = F.avgpool2d_forward(x, 2, 2)
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+        grad = F.avgpool2d_backward(np.ones_like(out), cache)
+        assert np.allclose(grad, np.full((1, 1, 4, 4), 0.25))
+
+
+class TestSoftmax:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=8))
+    def test_softmax_is_distribution(self, logits):
+        probs = F.softmax(np.array([logits]))
+        assert probs.min() >= 0
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(F.softmax(logits), F.softmax(logits + 100.0))
+
+    def test_log_softmax_consistency(self):
+        logits = np.random.default_rng(0).normal(size=(4, 6))
+        assert np.allclose(np.exp(F.log_softmax(logits)), F.softmax(logits))
+
+
+class TestOneHot:
+    def test_values(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)

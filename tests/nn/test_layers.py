@@ -1,0 +1,197 @@
+"""Layer-level tests: shapes, modes and numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+)
+from repro.nn.module import Sequential
+
+
+def numerical_gradient_check(model, x, loss_of_output, n_checks=6, eps=1e-6, tol=1e-5):
+    """Compare analytic parameter gradients against central differences."""
+    model.train()
+    model.zero_grad()
+    out = model(x)
+    loss, grad_out = loss_of_output(out)
+    model.backward(grad_out)
+    rng = np.random.default_rng(0)
+    params = list(model.named_parameters())
+    assert params, "model under test has no parameters"
+    for name, param in params:
+        for _ in range(n_checks):
+            idx = tuple(rng.integers(0, s) for s in param.data.shape)
+            original = param.data[idx]
+            param.data[idx] = original + eps
+            plus, _ = loss_of_output(model(x))
+            param.data[idx] = original - eps
+            minus, _ = loss_of_output(model(x))
+            param.data[idx] = original
+            numeric = (plus - minus) / (2 * eps)
+            analytic = param.grad[idx]
+            assert numeric == pytest.approx(analytic, rel=1e-3, abs=tol), f"gradient mismatch in {name}"
+
+
+def sum_of_squares(out):
+    """Simple smooth loss: 0.5 * ||out||^2 with gradient out."""
+    return 0.5 * float((out**2).sum()), out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=1, padding=1, rng=rng)
+        out = layer(rng.normal(size=(2, 3, 10, 10)))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_gradients(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        numerical_gradient_check(layer, rng.normal(size=(2, 2, 5, 5)), sum_of_squares)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 3, 3)
+
+
+class TestDepthwiseConv2d:
+    def test_output_shape(self, rng):
+        layer = DepthwiseConv2d(4, 3, stride=2, padding=1, rng=rng)
+        out = layer(rng.normal(size=(2, 4, 8, 8)))
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_gradients(self, rng):
+        layer = DepthwiseConv2d(3, 3, padding=1, rng=rng)
+        numerical_gradient_check(layer, rng.normal(size=(2, 3, 5, 5)), sum_of_squares)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(12, 7, rng=rng)
+        assert layer(rng.normal(size=(4, 12))).shape == (4, 7)
+
+    def test_gradients(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        numerical_gradient_check(layer, rng.normal(size=(3, 6)), sum_of_squares)
+
+    def test_input_gradient(self, rng):
+        layer = Linear(5, 2, rng=rng)
+        x = rng.normal(size=(3, 5))
+        out = layer(x)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert np.allclose(grad_in, np.ones((3, 2)) @ layer.weight.data)
+
+
+class TestBatchNorm2d:
+    def test_training_normalises_batch(self, rng):
+        layer = BatchNorm2d(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        out = layer(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.var(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_updated_and_used_in_eval(self, rng):
+        layer = BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(loc=1.0, size=(16, 2, 4, 4))
+        layer.train()
+        layer(x)
+        assert not np.allclose(layer._buffers["running_mean"], 0.0)
+        layer.eval()
+        out_eval = layer(x)
+        # eval output differs from train output because running stats are used
+        layer.train()
+        out_train = layer(x)
+        assert not np.allclose(out_eval, out_train)
+
+    def test_gradients(self, rng):
+        model = Sequential(Conv2d(2, 3, 3, padding=1, rng=rng), BatchNorm2d(3))
+        numerical_gradient_check(model, rng.normal(size=(4, 2, 5, 5)), sum_of_squares)
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            layer(rng.normal(size=(2, 4, 5, 5)))
+
+
+class TestActivationsAndPooling:
+    def test_relu_zeroes_negatives(self):
+        layer = ReLU()
+        out = layer(np.array([[-1.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 2.0]])
+        assert np.allclose(layer.backward(np.ones((1, 2))), [[0.0, 1.0]])
+
+    def test_relu6_clips(self):
+        layer = ReLU6()
+        out = layer(np.array([[-1.0, 3.0, 9.0]]))
+        assert np.allclose(out, [[0.0, 3.0, 6.0]])
+        assert np.allclose(layer.backward(np.ones((1, 3))), [[0.0, 1.0, 0.0]])
+
+    def test_maxpool_module(self, rng):
+        layer = MaxPool2d(2)
+        out = layer(rng.normal(size=(1, 2, 6, 6)))
+        assert out.shape == (1, 2, 3, 3)
+        assert layer.backward(np.ones_like(out)).shape == (1, 2, 6, 6)
+
+    def test_avgpool_module(self, rng):
+        layer = AvgPool2d(2)
+        assert layer(rng.normal(size=(1, 2, 6, 6))).shape == (1, 2, 3, 3)
+
+    def test_global_avgpool(self, rng):
+        layer = GlobalAvgPool2d()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+        grad = layer.backward(np.ones((2, 3)))
+        assert np.allclose(grad, 1.0 / 16)
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer(x)
+        assert out.shape == (2, 48)
+        assert np.allclose(layer.backward(out), x)
+
+    def test_identity(self, rng):
+        layer = Identity()
+        x = rng.normal(size=(2, 5))
+        assert np.allclose(layer(x), x)
+        assert np.allclose(layer.backward(x), x)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(4, 10))
+        assert np.allclose(layer(x), x)
+
+    def test_training_scales_kept_units(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.train()
+        x = np.ones((200, 50))
+        out = layer(x)
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)
+        # roughly half the units survive
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

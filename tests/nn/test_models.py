@@ -1,0 +1,172 @@
+"""Slimmable-architecture tests: specs, building, pruned variants, profiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import (
+    SlimmableMobileNetV2,
+    SlimmableResNet18,
+    SlimmableSimpleCNN,
+    SlimmableVGG,
+    available_architectures,
+    create_architecture,
+    register_architecture,
+    resolve_group_sizes,
+    scaled_size,
+)
+from repro.nn.models.spec import ChannelGroup
+from repro.nn.profiling import count_flops, count_params
+
+ARCHITECTURES = {
+    "simple_cnn": lambda: SlimmableSimpleCNN(num_classes=4, input_shape=(1, 8, 8), width_multiplier=0.5, hidden_features=16),
+    "vgg11": lambda: SlimmableVGG(config="vgg11", num_classes=4, input_shape=(3, 32, 32), width_multiplier=0.1, classifier_widths=(8, 8)),
+    "resnet18": lambda: SlimmableResNet18(num_classes=4, input_shape=(3, 16, 16), width_multiplier=0.125),
+    "mobilenetv2": lambda: SlimmableMobileNetV2(num_classes=4, input_shape=(1, 16, 16), width_multiplier=0.25, stem_channels=8, head_channels=16),
+}
+
+
+class TestSpecHelpers:
+    def test_scaled_size_floor_with_minimum(self):
+        assert scaled_size(10, 0.66) == 6
+        assert scaled_size(1, 0.1) == 1
+        with pytest.raises(ValueError):
+            scaled_size(10, 0.0)
+
+    def test_resolve_group_sizes_prunes_only_beyond_start_layer(self):
+        groups = [ChannelGroup("a", 8, 1), ChannelGroup("b", 8, 2), ChannelGroup("c", 8, 3)]
+        sizes = resolve_group_sizes(groups, 0.5, start_layer=2)
+        assert sizes == {"a": 8, "b": 8, "c": 4}
+
+    def test_full_ratio_keeps_everything(self):
+        groups = [ChannelGroup("a", 8, 1)]
+        assert resolve_group_sizes(groups, 1.0, start_layer=0) == {"a": 8}
+
+    def test_channel_group_validation(self):
+        with pytest.raises(ValueError):
+            ChannelGroup("bad", 0, 1)
+        with pytest.raises(ValueError):
+            ChannelGroup("bad", 4, 0, prunable=True)
+
+
+@pytest.mark.parametrize("name", sorted(ARCHITECTURES))
+class TestArchitectures:
+    def test_full_build_forward_backward(self, name):
+        arch = ARCHITECTURES[name]()
+        model = arch.build(rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(3, *arch.input_shape))
+        y = np.random.default_rng(2).integers(0, arch.num_classes, size=3)
+        logits = model(x)
+        assert logits.shape == (3, arch.num_classes)
+        loss_fn = CrossEntropyLoss()
+        loss_fn(logits, y)
+        grad_in = model.backward(loss_fn.backward())
+        assert grad_in.shape == x.shape
+        assert np.isfinite(grad_in).all()
+
+    def test_parameter_count_matches_built_model(self, name):
+        arch = ARCHITECTURES[name]()
+        assert arch.parameter_count() == count_params(arch.build())
+
+    def test_pruned_build_is_smaller_and_runs(self, name):
+        arch = ARCHITECTURES[name]()
+        start = max(1, arch.num_prunable_layers() // 2)
+        sizes = arch.group_sizes_for(0.5, start)
+        model = arch.build(sizes, rng=np.random.default_rng(0))
+        assert count_params(model) < arch.parameter_count()
+        assert arch.parameter_count(sizes) == count_params(model)
+        x = np.random.default_rng(1).normal(size=(2, *arch.input_shape))
+        assert model(x).shape == (2, arch.num_classes)
+
+    def test_param_specs_cover_every_state_entry(self, name):
+        arch = ARCHITECTURES[name]()
+        model = arch.build()
+        spec_names = {spec.name for spec in arch.param_specs()}
+        assert spec_names == set(model.state_dict().keys())
+
+    def test_flops_decrease_with_pruning(self, name):
+        arch = ARCHITECTURES[name]()
+        full = count_flops(arch.build(), arch.input_shape).flops
+        sizes = arch.group_sizes_for(0.5, 1)
+        pruned = count_flops(arch.build(sizes), arch.input_shape).flops
+        assert 0 < pruned < full
+
+    @settings(max_examples=5, deadline=None)
+    @given(ratio=st.sampled_from([0.25, 0.4, 0.66, 0.8]))
+    def test_group_sizes_monotone_in_ratio(self, name, ratio):
+        arch = ARCHITECTURES[name]()
+        start = 1
+        smaller = arch.group_sizes_for(ratio, start)
+        larger = arch.group_sizes_for(min(1.0, ratio + 0.2), start)
+        assert all(smaller[key] <= larger[key] for key in smaller)
+        assert arch.parameter_count(smaller) <= arch.parameter_count(larger)
+
+
+class TestVGGTable1:
+    """The headline static reproduction: Table 1 of the paper."""
+
+    @pytest.fixture(scope="class")
+    def vgg16(self):
+        return SlimmableVGG(config="vgg16", num_classes=10, input_shape=(3, 32, 32))
+
+    def test_full_model_parameters_match_paper(self, vgg16):
+        assert vgg16.parameter_count() / 1e6 == pytest.approx(33.65, abs=0.05)
+
+    def test_full_model_flops_match_paper(self, vgg16):
+        flops = count_flops(vgg16.build(), (3, 32, 32)).flops
+        assert flops / 1e6 == pytest.approx(333.22, rel=0.02)
+
+    @pytest.mark.parametrize(
+        "ratio, start_layer, expected_params_m",
+        [
+            (0.66, 8, 16.81),
+            (0.66, 6, 15.41),
+            (0.66, 4, 14.84),
+            (0.40, 8, 8.39),
+            (0.40, 6, 6.48),
+            (0.40, 4, 5.67),
+        ],
+    )
+    def test_split_sizes_match_paper(self, vgg16, ratio, start_layer, expected_params_m):
+        sizes = vgg16.group_sizes_for(ratio, start_layer)
+        assert vgg16.parameter_count(sizes) / 1e6 == pytest.approx(expected_params_m, abs=0.05)
+
+
+class TestResNetSpecifics:
+    def test_projection_blocks_present(self):
+        arch = ARCHITECTURES["resnet18"]()
+        model = arch.build()
+        projections = [block for block in model.blocks if block.use_projection]
+        assert len(projections) == 3  # first block of stages 2, 3, 4
+
+    def test_slice_shortcut_handles_mismatched_blocks(self):
+        arch = ARCHITECTURES["resnet18"]()
+        # prune only the deepest blocks: earlier blocks stay full, creating
+        # channel mismatches on identity shortcuts that must be handled.
+        sizes = arch.group_sizes_for(0.5, arch.num_prunable_layers() - 2)
+        model = arch.build(sizes, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, *arch.input_shape))
+        out = model(x)
+        assert out.shape == (2, arch.num_classes)
+        grad = model.backward(np.ones_like(out) / out.size)
+        assert grad.shape == x.shape
+
+
+class TestRegistry:
+    def test_available_architectures(self):
+        names = available_architectures()
+        assert {"vgg16", "vgg11", "resnet18", "mobilenetv2", "simple_cnn"} <= set(names)
+
+    def test_create_architecture(self):
+        arch = create_architecture("simple_cnn", num_classes=3, input_shape=(1, 8, 8))
+        assert arch.num_classes == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            create_architecture("alexnet")
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ValueError):
+            register_architecture("vgg16", lambda **kw: None)

@@ -1,0 +1,110 @@
+"""Module system tests: registration, traversal and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, ReLU
+from repro.nn.module import Module, Parameter, Sequential
+
+
+def build_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Conv2d(1, 4, 3, padding=1, rng=rng), BatchNorm2d(4), ReLU(), Linear(4, 2, rng=rng))
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter(np.ones((2, 2)))
+        p.grad += 3.0
+        p.zero_grad()
+        assert np.allclose(p.grad, 0.0)
+
+    def test_shape_and_size(self):
+        p = Parameter(np.zeros((3, 4)))
+        assert p.shape == (3, 4)
+        assert p.size == 12
+
+
+class TestTraversal:
+    def test_named_parameters_are_unique_and_complete(self):
+        model = build_model()
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+        # conv weight+bias, bn weight+bias, linear weight+bias
+        assert len(names) == 6
+
+    def test_named_buffers_include_running_stats(self):
+        model = build_model()
+        buffer_names = {name for name, _ in model.named_buffers()}
+        assert any(name.endswith("running_mean") for name in buffer_names)
+        assert any(name.endswith("running_var") for name in buffer_names)
+
+    def test_num_parameters(self):
+        model = build_model()
+        expected = 4 * 1 * 9 + 4 + 4 + 4 + 2 * 4 + 2
+        assert model.num_parameters() == expected
+
+    def test_train_eval_propagates(self):
+        model = build_model()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = build_model(seed=1)
+        target = build_model(seed=2)
+        target.load_state_dict(source.state_dict())
+        for (name_a, value_a), (name_b, value_b) in zip(
+            sorted(source.state_dict().items()), sorted(target.state_dict().items())
+        ):
+            assert name_a == name_b
+            assert np.allclose(value_a, value_b)
+
+    def test_state_dict_is_a_copy(self):
+        model = build_model()
+        state = model.state_dict()
+        first = next(iter(state))
+        state[first] += 100.0
+        assert not np.allclose(model.state_dict()[first], state[first])
+
+    def test_shape_mismatch_raises(self):
+        model = build_model()
+        state = model.state_dict()
+        key = next(name for name in state if name.endswith("weight"))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_missing_key_strict_raises(self):
+        model = build_model()
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            model.load_state_dict(state, strict=True)
+
+    def test_zero_grad_clears_all(self):
+        model = build_model()
+        for param in model.parameters():
+            param.grad += 1.0
+        model.zero_grad()
+        assert all(np.allclose(p.grad, 0.0) for p in model.parameters())
+
+
+class TestSequential:
+    def test_indexing_and_iteration(self):
+        model = build_model()
+        assert len(model) == 4
+        assert isinstance(model[0], Conv2d)
+        assert [type(m).__name__ for m in model] == ["Conv2d", "BatchNorm2d", "ReLU", "Linear"]
+
+    def test_append(self):
+        model = Sequential(ReLU())
+        model.append(ReLU())
+        assert len(model) == 2
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(np.zeros((1,)))
