@@ -18,11 +18,12 @@ def test_fig5_selection_strategy_ablation(benchmark):
     setting = bench_setting(distribution="iid", overrides={"num_rounds": 10, "eval_every": 5})
 
     def run_all():
-        results = {}
-        for strategy in STRATEGIES:
-            prepared = prepare_experiment(setting)
-            results[strategy] = run_algorithm("adaptivefl", prepared, selection_strategy=strategy)
-        return results
+        # one prepared experiment shared by every strategy: the ablation is paired
+        prepared = prepare_experiment(setting)
+        return {
+            strategy: run_algorithm("adaptivefl", prepared, selection_strategy=strategy)
+            for strategy in STRATEGIES
+        }
 
     results = once(benchmark, run_all)
     rows = [

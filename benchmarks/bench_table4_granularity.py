@@ -6,15 +6,14 @@ test is that the fine-grained pool transfers knowledge between sizes
 better, improving the "full" accuracy.
 """
 
+from repro.api.registry import get_algorithm
 from repro.core.config import ModelPoolConfig
-from repro.core.server import AdaptiveFL
 from repro.experiments import PAPER_TABLE4, format_table, prepare_experiment
 
 from common import bench_setting, once
 
 
-def _run_with_pool(setting, models_per_level):
-    prepared = prepare_experiment(setting)
+def _run_with_pool(prepared, models_per_level):
     base = prepared.pool_config
     pool = ModelPoolConfig(
         models_per_level=models_per_level,
@@ -22,13 +21,8 @@ def _run_with_pool(setting, models_per_level):
         start_layers=base.start_layers[:models_per_level],
         min_start_layer=min(base.start_layers[:models_per_level]),
     )
-    algorithm = AdaptiveFL(
-        algorithm_config=prepared.adaptivefl_config(),
-        pool_config=pool,
-        **prepared.algorithm_kwargs(),
-    )
-    # override the pool inside the algorithm config is handled by pool_config;
-    # run and report the best full-model accuracy
+    # bind the granularity-ablated pool over the prepared default
+    algorithm = get_algorithm("adaptivefl").with_kwargs(pool_config=pool).build(prepared)
     history = algorithm.run()
     return history.final_accuracy("full"), history.final_accuracy("avg")
 
@@ -37,8 +31,9 @@ def test_table4_pruning_granularity(benchmark):
     setting = bench_setting(distribution="iid", overrides={"num_rounds": 8, "eval_every": 4})
 
     def run_both():
-        coarse = _run_with_pool(setting, models_per_level=1)
-        fine = _run_with_pool(setting, models_per_level=3)
+        prepared = prepare_experiment(setting)
+        coarse = _run_with_pool(prepared, models_per_level=1)
+        fine = _run_with_pool(prepared, models_per_level=3)
         return coarse, fine
 
     (coarse_full, coarse_avg), (fine_full, fine_avg) = once(benchmark, run_both)

@@ -13,11 +13,7 @@ All benches are macro-benchmarks: they run once per pytest-benchmark round
 
 from __future__ import annotations
 
-from repro.experiments import (
-    ExperimentSetting,
-    prepare_experiment,
-    run_algorithm,
-)
+from repro.experiments import ExperimentSetting, run_comparison
 
 #: rounds used by the CI-scale benchmark runs
 BENCH_ROUNDS = 6
@@ -35,12 +31,8 @@ def bench_setting(**kwargs) -> ExperimentSetting:
 
 
 def run_algorithms(setting: ExperimentSetting, algorithms, **kwargs):
-    """Run several algorithms on identically prepared experiments."""
-    results = {}
-    for name in algorithms:
-        prepared = prepare_experiment(setting)
-        results[name] = run_algorithm(name, prepared, **kwargs)
-    return results
+    """Run several algorithms on one shared prepared experiment (paired)."""
+    return run_comparison(setting, tuple(algorithms), **kwargs)
 
 
 def once(benchmark, func):

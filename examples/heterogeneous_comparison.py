@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Compare AdaptiveFL against the paper's four baselines (Table 2 style).
 
-Runs All-Large, Decoupled, HeteroFL, ScaleFL and AdaptiveFL on the same
-synthetic federation (same data partition, same heterogeneous devices) and
-prints the avg/full accuracy table plus the communication-waste column of
+Runs the selected registered algorithms through ``run_comparison``, which
+prepares the federation **once** (same data partition, same heterogeneous
+devices) and trains every algorithm on the identical snapshot, then prints
+the avg/full accuracy table plus the communication-waste column of
 Figure 5a.
 
 Run:
@@ -15,14 +16,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments import (
-    ALL_ALGORITHM_NAMES,
-    ExperimentSetting,
-    prepare_experiment,
-    render_accuracy_table,
-    render_waste_table,
-    run_algorithm,
-)
+from repro import ProgressCallback, available_algorithms, run_comparison
+from repro.experiments import ExperimentSetting, render_accuracy_table, render_waste_table
 
 
 def main() -> None:
@@ -32,7 +27,7 @@ def main() -> None:
     parser.add_argument("--model", default="simple_cnn")
     parser.add_argument("--alpha", type=float, default=None, help="Dirichlet alpha; omit for IID")
     parser.add_argument("--proportion", default="4:3:3", help="weak:medium:strong device proportion (Table 3)")
-    parser.add_argument("--algorithms", nargs="*", default=list(ALL_ALGORITHM_NAMES))
+    parser.add_argument("--algorithms", nargs="*", default=list(available_algorithms()))
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
@@ -47,11 +42,7 @@ def main() -> None:
         seed=args.seed,
     )
 
-    results = {}
-    for name in args.algorithms:
-        prepared = prepare_experiment(setting)
-        print(f"running {name} ...")
-        results[name] = run_algorithm(name, prepared)
+    results = run_comparison(setting, tuple(args.algorithms), callbacks=[ProgressCallback()])
 
     title = (
         f"{args.dataset} / {args.model} / {distribution}"

@@ -1,9 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: train AdaptiveFL on a synthetic CIFAR-10-like federation.
 
-Builds a slimmable CNN, partitions a synthetic dataset over heterogeneous
-devices, runs a few AdaptiveFL rounds and prints the accuracy of the full
-global model and of the S/M/L submodel heads.
+Uses the ``repro.api`` experiment-session layer: build an
+:class:`~repro.api.session.ExperimentSession`, attach a progress callback
+and run the registered ``"adaptivefl"`` algorithm.  The same experiment is
+one shell command away::
+
+    python -m repro run --algorithm adaptivefl --dataset cifar10 --scale ci
 
 Run:
     python examples/quickstart.py --scale ci
@@ -14,8 +17,8 @@ from __future__ import annotations
 
 import argparse
 
+from repro import ExperimentSession, ExperimentSetting, ProgressCallback
 from repro.core import ModelPool
-from repro.experiments import ExperimentSetting, prepare_experiment, run_algorithm
 
 
 def main() -> None:
@@ -37,16 +40,16 @@ def main() -> None:
         scale=args.scale,
         seed=args.seed,
     )
-    prepared = prepare_experiment(setting)
+    session = ExperimentSession(setting).with_callback(ProgressCallback())
+    prepared = session.prepared
     print(f"dataset={args.dataset} model={args.model} clients={prepared.scale.num_clients} "
           f"rounds={args.rounds or prepared.scale.num_rounds} distribution={distribution}")
     print(f"global model parameters: {prepared.architecture.parameter_count():,}")
     pool = ModelPool(prepared.architecture, prepared.pool_config)
     print("model pool:", ", ".join(f"{c.name}={c.num_params:,}" for c in pool))
 
-    result = run_algorithm("adaptivefl", prepared, num_rounds=args.rounds)
-    history = result.history
-    final = history.evaluated_records()[-1]
+    result = session.run("adaptivefl", num_rounds=args.rounds)
+    final = result.history.evaluated_records()[-1]
     print("\n=== AdaptiveFL results ===")
     print(f"full global model accuracy : {result.full_accuracy * 100:.2f}%")
     print(f"avg submodel accuracy      : {result.avg_accuracy * 100:.2f}%")

@@ -3,8 +3,10 @@
 
 Runs AdaptiveFL under the five dispatch/selection variants of the paper's
 ablation — Greedy, Random, RL-C (curiosity only), RL-S (resource only) and
-RL-CS (the full method) — and prints their communication-waste rate and
-final accuracy.
+RL-CS (the full method) — on one shared
+:class:`~repro.api.session.ExperimentSession` (the experiment is prepared
+once, so the ablation is paired) and prints their communication-waste rate
+and final accuracy.
 
 Run:
     python examples/selection_ablation.py --scale ci --rounds 10
@@ -14,7 +16,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments import ExperimentSetting, format_table, prepare_experiment, run_algorithm
+from repro import ExperimentSession, ExperimentSetting
+from repro.experiments import format_table
 
 STRATEGIES = ("greedy", "random", "rl-c", "rl-s", "rl-cs")
 
@@ -29,12 +32,12 @@ def main() -> None:
     args = parser.parse_args()
 
     setting = ExperimentSetting(dataset=args.dataset, model=args.model, distribution="iid", scale=args.scale, seed=args.seed)
+    session = ExperimentSession(setting)
 
     rows = []
     for strategy in STRATEGIES:
-        prepared = prepare_experiment(setting)
         print(f"running AdaptiveFL+{strategy} ...")
-        result = run_algorithm("adaptivefl", prepared, selection_strategy=strategy, num_rounds=args.rounds)
+        result = session.run("adaptivefl", selection_strategy=strategy, num_rounds=args.rounds)
         rows.append([strategy, f"{result.communication_waste * 100:.2f}", f"{result.full_accuracy * 100:.2f}"])
 
     print("\n=== RL client-selection ablation (Figure 5 style) ===")

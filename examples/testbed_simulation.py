@@ -17,8 +17,7 @@ import argparse
 
 import numpy as np
 
-from repro.baselines import HeteroFL
-from repro.core import AdaptiveFL, AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig, ModelPoolConfig
+from repro import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig, ModelPoolConfig, ProgressCallback, get_algorithm
 from repro.data import make_widar_like, natural_partition
 from repro.devices import ResourceModel, TESTBED_DEVICE_SPECS, TestbedSimulator
 from repro.experiments import format_table
@@ -76,13 +75,16 @@ def main() -> None:
     rows = [[s.name, s.device_class, f"{s.memory_gb:.0f}G", s.count] for s in TESTBED_DEVICE_SPECS]
     print(format_table(["device", "class", "memory", "count"], rows))
 
+    progress = ProgressCallback()
     print("\nrunning AdaptiveFL ...")
     kwargs, adaptive_config, pool = build_setup(args, args.seed)
-    adaptive_history = AdaptiveFL(algorithm_config=adaptive_config, pool_config=pool, **kwargs).run()
+    adaptivefl = get_algorithm("adaptivefl").factory
+    adaptive_history = adaptivefl(algorithm_config=adaptive_config, pool_config=pool, **kwargs).run(callbacks=[progress])
 
     print("running HeteroFL ...")
     kwargs, _, _ = build_setup(args, args.seed)
-    hetero_history = HeteroFL(**kwargs).run()
+    heterofl = get_algorithm("heterofl").factory
+    hetero_history = heterofl(**kwargs).run(callbacks=[progress])
 
     print("\n=== Accuracy vs simulated wall-clock time (Figure 6 style) ===")
     for name, history in (("adaptivefl", adaptive_history), ("heterofl", hetero_history)):

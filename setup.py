@@ -1,10 +1,21 @@
-"""Setuptools shim.
+"""Setuptools configuration for the AdaptiveFL reproduction."""
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` also works on environments whose pip/setuptools lack
-PEP 660 editable-wheel support (no ``wheel`` package installed).
-"""
+import re
+from pathlib import Path
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+# single source of truth: repro.__version__
+_init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_version = re.search(r'^__version__ = "([^"]+)"', _init.read_text(), re.MULTILINE).group(1)
+
+setup(
+    name="repro-adaptivefl",
+    version=_version,
+    description="AdaptiveFL (DAC 2024) reproduction: heterogeneous FL with fine-grained pruning and RL client selection",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.__main__:main"]},
+)

@@ -1,7 +1,20 @@
 """AdaptiveFL reproduction (DAC 2024).
 
-Top-level package layout:
+The curated public surface lives in :mod:`repro.api` and is re-exported
+here lazily — ``import repro`` is cheap, and the common entry points are
+one import away::
 
+    from repro import ExperimentSetting, ExperimentSession, ProgressCallback
+    session = ExperimentSession(ExperimentSetting(model="simple_cnn"))
+    result = session.with_callback(ProgressCallback()).run("adaptivefl")
+
+or from a shell: ``python -m repro run --algorithm adaptivefl --scale ci``.
+
+Package layout:
+
+* ``repro.api`` — the public experiment-session layer: algorithm registry
+  (``@register_algorithm``), training callbacks, serialisable
+  ``ExperimentSpec``, ``ExperimentSession`` and the CLI.
 * ``repro.nn`` — numpy deep-learning substrate and slimmable model zoo.
 * ``repro.data`` — synthetic federated datasets and partitioners.
 * ``repro.devices`` — device heterogeneity / resource-uncertainty models and
@@ -9,11 +22,62 @@ Top-level package layout:
 * ``repro.core`` — the paper's contribution: fine-grained width-wise
   pruning, RL-based client selection, heterogeneous aggregation and the
   AdaptiveFL training loop.
-* ``repro.baselines`` — All-Large (FedAvg), Decoupled, HeteroFL and ScaleFL.
-* ``repro.experiments`` — configurations and runners that regenerate every
-  table and figure of the paper's evaluation.
+* ``repro.baselines`` — All-Large (FedAvg), Decoupled, HeteroFL and ScaleFL,
+  all self-registered in the algorithm registry.
+* ``repro.experiments`` — settings, scales, registry-driven runners and
+  report rendering that regenerate the paper's tables and figures.
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
 
-__all__ = ["__version__"]
+import importlib
+from typing import Any
+
+__version__ = "1.1.0"
+
+_EXPORTS: dict[str, str] = {
+    # algorithms
+    "AdaptiveFL": "repro.core.server",
+    "FederatedAlgorithm": "repro.core.fl_base",
+    # configs
+    "AdaptiveFLConfig": "repro.core.config",
+    "FederatedConfig": "repro.core.config",
+    "LocalTrainingConfig": "repro.core.config",
+    "ModelPoolConfig": "repro.core.config",
+    # history
+    "TrainingHistory": "repro.core.history",
+    "RoundRecord": "repro.core.history",
+    # registry
+    "AlgorithmSpec": "repro.api.registry",
+    "register_algorithm": "repro.api.registry",
+    "get_algorithm": "repro.api.registry",
+    "available_algorithms": "repro.api.registry",
+    # callbacks
+    "Callback": "repro.api.callbacks",
+    "ProgressCallback": "repro.api.callbacks",
+    "EarlyStopping": "repro.api.callbacks",
+    "WallClockBudget": "repro.api.callbacks",
+    "JsonHistoryStreamer": "repro.api.callbacks",
+    # experiment layer
+    "ExperimentSpec": "repro.api.spec",
+    "ExperimentSession": "repro.api.session",
+    "ExperimentSetting": "repro.experiments.settings",
+    "prepare_experiment": "repro.experiments.settings",
+    "AlgorithmResult": "repro.experiments.runner",
+    "run_algorithm": "repro.experiments.runner",
+    "run_comparison": "repro.experiments.runner",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,6 @@
+"""``python -m repro`` — delegate to the :mod:`repro.api.cli` entry point."""
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,239 @@
+"""The ``python -m repro`` command line.
+
+Three subcommands drive the whole experiment layer from a shell:
+
+* ``repro run`` — train one algorithm, e.g.::
+
+      python -m repro run --algorithm adaptivefl --dataset cifar10 --scale ci
+
+* ``repro compare`` — run several algorithms on the identical prepared
+  experiment, from flags or from a saved spec::
+
+      python -m repro compare --spec spec.json
+      python -m repro compare --algorithms heterofl adaptivefl --rounds 4
+
+* ``repro algorithms`` — list the registry with declared capabilities.
+
+Both ``run`` and ``compare`` write one ``<algorithm>_history.json`` per
+run plus ``summary.json`` (and echo the resolved ``spec.json``) into
+``--output-dir``, and stream progress unless ``--quiet``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.api.callbacks import Callback, EarlyStopping, JsonHistoryStreamer, ProgressCallback, WallClockBudget
+from repro.api.registry import available_algorithms, get_algorithm, validate_algorithm_names
+from repro.api.session import ExperimentSession
+from repro.api.spec import ExperimentSpec
+from repro.experiments.settings import DATASET_BUILDERS, ExperimentSetting
+from repro.experiments.reporting import format_table, render_accuracy_table
+
+__all__ = ["main", "build_parser"]
+
+#: CLI default model; the ExperimentSetting default (vgg16) needs 32px
+#: inputs and cannot build at the 16px ci scale every quick run uses.
+DEFAULT_MODEL = "simple_cnn"
+
+
+def _add_setting_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("experiment setting")
+    group.add_argument("--dataset", default="cifar10", choices=sorted(DATASET_BUILDERS))
+    group.add_argument("--model", default=DEFAULT_MODEL, help="architecture registry name")
+    group.add_argument(
+        "--distribution",
+        default=None,
+        choices=["iid", "dirichlet", "natural"],
+        help="data distribution (default: dirichlet when --alpha is given, else iid)",
+    )
+    group.add_argument("--alpha", type=float, default=None, help="Dirichlet alpha for non-IID data")
+    group.add_argument("--proportion", default="4:3:3", help="weak:medium:strong device proportion")
+    group.add_argument("--scale", default="ci", help="experiment scale preset (ci, small, paper)")
+    group.add_argument("--seed", type=int, default=0)
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("run options")
+    group.add_argument("--spec", type=Path, default=None, help="JSON ExperimentSpec (overrides setting flags)")
+    group.add_argument("--rounds", type=int, default=None, help="override the number of federated rounds")
+    group.add_argument("--output-dir", type=Path, default=Path("results"), help="where histories/summary are written")
+    group.add_argument("--quiet", action="store_true", help="suppress per-round progress output")
+    group.add_argument("--patience", type=int, default=None, help="early-stop after N evaluations without improvement")
+    group.add_argument("--budget-seconds", type=float, default=None, help="stop each run after a wall-clock budget")
+    group.add_argument("--stream-history", action="store_true", help="also stream per-round JSONL next to the history")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AdaptiveFL reproduction: registry-driven federated-learning experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="train one algorithm end-to-end")
+    run.add_argument("--algorithm", default=None, help="registered algorithm name (default: adaptivefl)")
+    run.add_argument("--selection-strategy", default=None, help="AdaptiveFL strategy (rl-cs, rl-c, rl-s, random, greedy)")
+    _add_setting_flags(run)
+    _add_run_flags(run)
+    run.set_defaults(handler=_cmd_run)
+
+    compare = subparsers.add_parser("compare", help="run several algorithms on the identical experiment")
+    compare.add_argument("--algorithms", nargs="*", default=None, help="names (default: every registered algorithm)")
+    _add_setting_flags(compare)
+    _add_run_flags(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    algorithms = subparsers.add_parser("algorithms", help="list the algorithm registry")
+    algorithms.set_defaults(handler=_cmd_algorithms)
+
+    return parser
+
+
+def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
+    distribution = args.distribution
+    if distribution is None:
+        distribution = "dirichlet" if args.alpha is not None else "iid"
+    return ExperimentSetting(
+        dataset=args.dataset,
+        model=args.model,
+        distribution=distribution,
+        alpha=args.alpha,
+        proportion=args.proportion,
+        scale=args.scale,
+        seed=args.seed,
+    )
+
+
+def _session_from_args(args: argparse.Namespace) -> tuple[ExperimentSession, ExperimentSpec]:
+    """Resolve a session + the effective spec (from --spec or from flags)."""
+    if args.spec is not None:
+        conflicting = [
+            flag
+            for flag, value in [
+                ("--algorithm", getattr(args, "algorithm", None)),
+                ("--algorithms", getattr(args, "algorithms", None)),
+                ("--selection-strategy", getattr(args, "selection_strategy", None)),
+            ]
+            if value
+        ]
+        if conflicting:
+            raise ValueError(
+                f"{' and '.join(conflicting)} cannot be combined with --spec; "
+                "edit the spec file instead (--rounds may override it)"
+            )
+        spec = ExperimentSpec.load(args.spec)
+        if args.rounds is not None:
+            spec = ExperimentSpec.from_dict({**spec.to_dict(), "num_rounds": args.rounds})
+        session = ExperimentSession.from_spec(spec)
+    else:
+        algorithms = getattr(args, "algorithms", None) or ()
+        if getattr(args, "algorithm", None):
+            algorithms = (args.algorithm,)
+        spec = ExperimentSpec(
+            setting=_setting_from_args(args),
+            algorithms=tuple(algorithms),
+            selection_strategy=getattr(args, "selection_strategy", None),
+            num_rounds=args.rounds,
+        )
+        session = ExperimentSession.from_spec(spec)
+    _attach_callbacks(session, args)
+    return session, spec
+
+
+def _attach_callbacks(session: ExperimentSession, args: argparse.Namespace) -> None:
+    if not args.quiet:
+        session.with_callback(ProgressCallback())
+    if args.patience is not None:
+        patience = args.patience
+        session.with_callback(lambda: EarlyStopping(patience=patience))
+    if args.budget_seconds is not None:
+        budget = args.budget_seconds
+        session.with_callback(lambda: WallClockBudget(budget))
+    if args.stream_history:
+        output_dir = _output_dir(session, args)
+        session.with_callback(_StreamerPerRun(output_dir))
+
+
+class _StreamerPerRun(Callback):
+    """Routes each run's rounds to ``<algorithm>_rounds.jsonl`` in the output dir."""
+
+    def __init__(self, directory: Path):
+        self.directory = directory
+        self._streamers: dict[str, JsonHistoryStreamer] = {}
+
+    def _streamer(self, algorithm) -> JsonHistoryStreamer:
+        if algorithm.name not in self._streamers:
+            self._streamers[algorithm.name] = JsonHistoryStreamer(
+                self.directory / f"{algorithm.name}_rounds.jsonl"
+            )
+        return self._streamers[algorithm.name]
+
+    def on_round_end(self, algorithm, record) -> None:
+        self._streamer(algorithm).on_round_end(algorithm, record)
+
+
+def _output_dir(session: ExperimentSession, args: argparse.Namespace) -> Path:
+    if session.spec is not None and session.spec.output_dir:
+        return Path(session.spec.output_dir)
+    return args.output_dir
+
+
+def _finish(session: ExperimentSession, spec: ExperimentSpec, args: argparse.Namespace) -> int:
+    directory = _output_dir(session, args)
+    written = session.save_results(directory)
+    spec.save(directory / "spec.json")
+    print(render_accuracy_table(session.results, title=f"results ({directory})"))
+    print("wrote:", ", ".join(str(path) for path in written))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    session, spec = _session_from_args(args)
+    names = spec.algorithms or ("adaptivefl",)
+    validate_algorithm_names(names)
+    for name in names:
+        # an explicit --selection-strategy flag is passed through unfiltered
+        # (requesting one for an algorithm that cannot honour it is an error,
+        # not a no-op); a spec file's strategy applies only to algorithms that
+        # accept one, matching `compare --spec` on the same file
+        strategy = session.strategy_for(name) if args.spec is not None else spec.selection_strategy
+        session.run(name, selection_strategy=strategy)
+    return _finish(session, spec, args)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    session, spec = _session_from_args(args)
+    session.run_spec()
+    return _finish(session, spec, args)
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_algorithms():
+        spec = get_algorithm(name)
+        rows.append(
+            [
+                name,
+                "yes" if spec.uses_pool_config else "no",
+                "yes" if spec.uses_selection_strategy else "no",
+                spec.description,
+            ]
+        )
+    print(format_table(["algorithm", "pool config", "selection strategy", "description"], rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler: Callable[[argparse.Namespace], int] = args.handler
+    try:
+        return handler(args)
+    except (KeyError, ValueError, OSError) as error:
+        # registry/config validation errors and unreadable spec files
+        # (json.JSONDecodeError is a ValueError) become clean CLI errors
+        print(f"error: {error}", file=sys.stderr)
+        return 2

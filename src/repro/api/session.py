@@ -1,0 +1,161 @@
+"""``ExperimentSession``: prepare once, run many algorithms, collect results.
+
+The session is the stateful counterpart of the functional runner: it
+lazily prepares the experiment (dataset synthesis, partitioning, device
+profiles) exactly once and reuses the snapshot for every subsequent run,
+so multi-algorithm comparisons and ablation sweeps are paired and avoid
+N× re-preparation.  Callbacks attach builder-style and are materialised
+fresh for every run when given as factories.
+
+    session = (ExperimentSession(ExperimentSetting(model="simple_cnn"))
+               .with_callback(ProgressCallback())
+               .with_callback(lambda: EarlyStopping(patience=3)))
+    session.compare(["heterofl", "adaptivefl"])
+    session.save_results("results/")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.api.callbacks import Callback
+from repro.api.registry import available_algorithms, get_algorithm, validate_algorithm_names
+from repro.api.spec import ExperimentSpec
+from repro.devices.testbed import TestbedSimulator
+from repro.experiments.runner import AlgorithmResult, run_algorithm
+from repro.experiments.settings import ExperimentSetting, PreparedExperiment, prepare_experiment
+
+__all__ = ["ExperimentSession"]
+
+
+class ExperimentSession:
+    """One prepared experiment, any number of algorithm runs on it."""
+
+    def __init__(
+        self,
+        setting: ExperimentSetting | None = None,
+        *,
+        testbed: TestbedSimulator | None = None,
+    ):
+        self.setting = setting if setting is not None else ExperimentSetting()
+        self.testbed = testbed
+        self.spec: ExperimentSpec | None = None
+        self.results: dict[str, AlgorithmResult] = {}
+        self._callbacks: list[Callback | Callable[[], Callback]] = []
+        self._prepared: PreparedExperiment | None = None
+
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec | str | Path, **kwargs) -> "ExperimentSession":
+        """Build a session from an :class:`ExperimentSpec` or a JSON file path."""
+        if not isinstance(spec, ExperimentSpec):
+            spec = ExperimentSpec.load(spec)
+        session = cls(spec.setting, **kwargs)
+        session.spec = spec
+        return session
+
+    # -- preparation ------------------------------------------------------------------
+    @property
+    def prepared(self) -> PreparedExperiment:
+        """The prepared experiment, materialised on first use and cached."""
+        if self._prepared is None:
+            self._prepared = prepare_experiment(self.setting)
+        return self._prepared
+
+    # -- callbacks --------------------------------------------------------------------
+    def with_callback(self, callback: Callback | Callable[[], Callback]) -> "ExperimentSession":
+        """Attach a callback instance or a zero-arg factory (builder style).
+
+        Factories are called once per run, so stateful callbacks such as
+        :class:`~repro.api.callbacks.EarlyStopping` start fresh for every
+        algorithm of a comparison.
+        """
+        self._callbacks.append(callback)
+        return self
+
+    # -- execution --------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: str,
+        *,
+        selection_strategy: str | None = None,
+        num_rounds: int | None = None,
+        callbacks: Iterable[Callback | Callable[[], Callback]] | None = None,
+    ) -> AlgorithmResult:
+        """Run one registered algorithm on the shared prepared experiment."""
+        validate_algorithm_names([algorithm])
+        result = run_algorithm(
+            algorithm,
+            self.prepared,
+            selection_strategy=selection_strategy,
+            num_rounds=num_rounds if num_rounds is not None else self._spec_rounds(),
+            testbed=self.testbed,
+            callbacks=self._callbacks + list(callbacks or []),
+        )
+        self.results[result.algorithm] = result
+        return result
+
+    def compare(
+        self,
+        algorithms: Iterable[str] | None = None,
+        *,
+        num_rounds: int | None = None,
+    ) -> dict[str, AlgorithmResult]:
+        """Run several algorithms on the identical snapshot (paired comparison)."""
+        names = validate_algorithm_names(self._resolve_algorithms(algorithms))
+        return {name: self.run(name, num_rounds=num_rounds) for name in names}
+
+    def run_spec(self) -> dict[str, AlgorithmResult]:
+        """Execute the attached spec: its algorithms, rounds and strategy."""
+        if self.spec is None:
+            raise ValueError("session has no spec; construct it with ExperimentSession.from_spec")
+        names = validate_algorithm_names(self._resolve_algorithms(self.spec.algorithms or None))
+        return {
+            name: self.run(name, selection_strategy=self.strategy_for(name))
+            for name in names
+        }
+
+    # -- persistence ------------------------------------------------------------------
+    def save_results(self, directory: str | Path) -> list[Path]:
+        """Write one ``<label>_history.json`` per result plus ``summary.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        summary: dict[str, dict] = {}
+        for label, result in self.results.items():
+            safe = label.replace("/", "_")
+            path = directory / f"{safe}_history.json"
+            path.write_text(json.dumps(result.history.to_dict(), indent=2) + "\n", encoding="utf-8")
+            written.append(path)
+            summary[label] = {
+                "full_accuracy": result.full_accuracy,
+                "avg_accuracy": result.avg_accuracy,
+                "communication_waste": result.communication_waste,
+                "rounds": len(result.history),
+                "history_file": path.name,
+            }
+        summary_path = directory / "summary.json"
+        summary_path.write_text(
+            json.dumps({"setting": self.setting.to_dict(), "results": summary}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        written.append(summary_path)
+        return written
+
+    # -- helpers ----------------------------------------------------------------------
+    def _resolve_algorithms(self, algorithms: Iterable[str] | None) -> tuple[str, ...]:
+        if algorithms is not None:
+            return tuple(algorithms)
+        if self.spec is not None and self.spec.algorithms:
+            return self.spec.algorithms
+        return available_algorithms()
+
+    def _spec_rounds(self) -> int | None:
+        return self.spec.num_rounds if self.spec is not None else None
+
+    def strategy_for(self, name: str) -> str | None:
+        """The spec's selection strategy, but only for algorithms that accept one."""
+        if self.spec is None or self.spec.selection_strategy is None:
+            return None
+        return self.spec.selection_strategy if get_algorithm(name).uses_selection_strategy else None

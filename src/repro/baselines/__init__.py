@@ -8,6 +8,13 @@
   of every layer, level assigned from known device resources,
 * :class:`~repro.baselines.scalefl.ScaleFL` — two-dimensional (width +
   depth) scaling, level assigned from known device resources.
+
+Each class registers itself in :mod:`repro.api.registry` via
+``@register_algorithm`` and declares there which configs it accepts
+(e.g. HeteroFL's fixed pool); the experiment runner and CLI discover the
+baselines through that registry, never through this module.  ``ALGORITHMS``
+below is the legacy name→class mapping, kept consistent with the registry
+by the api test-suite.
 """
 
 from repro.baselines.decoupled import DecoupledFL

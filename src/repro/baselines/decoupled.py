@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_algorithm
 from repro.baselines.base import RandomSelectionMixin, capacity_level_assignment
 from repro.core.aggregation import ClientUpdate, fedavg_aggregate
 from repro.core.fl_base import FederatedAlgorithm
@@ -22,6 +23,11 @@ from repro.core.pruning import extract_submodel_state
 __all__ = ["DecoupledFL"]
 
 
+@register_algorithm(
+    "decoupled",
+    description="Decoupled: independent FedAvg per size level, no cross-level sharing",
+    order=20,
+)
 class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
     """One isolated FedAvg per model level."""
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_algorithm
 from repro.baselines.base import RandomSelectionMixin
 from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
 from repro.core.fl_base import FederatedAlgorithm
@@ -20,6 +21,11 @@ from repro.core.metrics import communication_waste_rate
 __all__ = ["AllLargeFedAvg"]
 
 
+@register_algorithm(
+    "all_large",
+    description="All-Large: classic FedAvg training the unpruned model on every client",
+    order=10,
+)
 class AllLargeFedAvg(RandomSelectionMixin, FederatedAlgorithm):
     """FedAvg with the full model dispatched to every participant."""
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_algorithm
 from repro.baselines.base import RandomSelectionMixin, capacity_level_assignment
 from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
 from repro.core.config import ModelPoolConfig
@@ -34,6 +35,15 @@ HETEROFL_POOL_CONFIG = ModelPoolConfig(
 )
 
 
+@register_algorithm(
+    "heterofl",
+    description="HeteroFL: static whole-network width pruning, capacity-based levels",
+    # HeteroFL ships its own canonical 1.0x/0.71x/0.5x pool; the experiment's
+    # fine-grained pool_config must NOT be forced on it (declared here instead
+    # of an `if name != "heterofl"` branch in the runner).
+    uses_pool_config=False,
+    order=30,
+)
 class HeteroFL(RandomSelectionMixin, FederatedAlgorithm):
     """Static whole-network width pruning with capacity-based assignment."""
 

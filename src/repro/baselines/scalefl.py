@@ -20,6 +20,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.api.registry import register_algorithm
 from repro.baselines.base import RandomSelectionMixin, capacity_level_assignment
 from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
 from repro.core.fl_base import FederatedAlgorithm
@@ -99,6 +100,11 @@ def calibrate_width_ratio(
     return (low + high) / 2.0
 
 
+@register_algorithm(
+    "scalefl",
+    description="ScaleFL: two-dimensional (width + depth) submodel scaling",
+    order=40,
+)
 class ScaleFL(RandomSelectionMixin, FederatedAlgorithm):
     """Two-dimensional (width + depth) submodel scaling."""
 

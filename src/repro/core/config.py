@@ -1,8 +1,18 @@
-"""Configuration dataclasses shared by AdaptiveFL and the baselines."""
+"""Configuration dataclasses shared by AdaptiveFL and the baselines.
+
+Every config serialises with ``to_dict()`` and reconstructs with
+``from_dict()`` so experiment specs can round-trip through JSON
+(``from_dict(to_dict(x)) == x``); unknown payload keys raise
+:class:`ValueError` and bad values hit the regular ``__post_init__``
+validation.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from repro.core.serialization import checked_payload, coerce_int_tuple
 
 __all__ = ["LocalTrainingConfig", "FederatedConfig", "ModelPoolConfig", "AdaptiveFLConfig"]
 
@@ -34,6 +44,13 @@ class LocalTrainingConfig:
         if self.max_batches_per_epoch is not None and self.max_batches_per_epoch <= 0:
             raise ValueError("max_batches_per_epoch must be positive when set")
 
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LocalTrainingConfig":
+        return cls(**checked_payload(cls, payload))
+
 
 @dataclass(frozen=True)
 class FederatedConfig:
@@ -52,6 +69,13 @@ class FederatedConfig:
             raise ValueError("clients_per_round must be positive")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FederatedConfig":
+        return cls(**checked_payload(cls, payload))
 
 
 @dataclass(frozen=True)
@@ -89,6 +113,23 @@ class ModelPoolConfig:
         if min(self.start_layers) < self.min_start_layer:
             raise ValueError("start_layers must respect the min_start_layer threshold τ")
 
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["start_layers"] = list(self.start_layers)
+        return data
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ModelPoolConfig":
+        data = checked_payload(cls, payload)
+        if "start_layers" in data:
+            data["start_layers"] = coerce_int_tuple(data["start_layers"], field_name="start_layers")
+        if "level_width_ratios" in data:
+            ratios = data["level_width_ratios"]
+            if not isinstance(ratios, Mapping):
+                raise ValueError("level_width_ratios must be a mapping")
+            data["level_width_ratios"] = {str(level): float(ratio) for level, ratio in ratios.items()}
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class AdaptiveFLConfig:
@@ -108,3 +149,23 @@ class AdaptiveFLConfig:
             raise ValueError(f"selection_strategy must be one of {sorted(valid)}")
         if not 0.0 < self.resource_reward_cap <= 1.0:
             raise ValueError("resource_reward_cap must be in (0, 1]")
+
+    def to_dict(self) -> dict:
+        return {
+            "federated": self.federated.to_dict(),
+            "local": self.local.to_dict(),
+            "pool": self.pool.to_dict(),
+            "selection_strategy": self.selection_strategy,
+            "resource_reward_cap": self.resource_reward_cap,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AdaptiveFLConfig":
+        data = checked_payload(cls, payload)
+        if "federated" in data:
+            data["federated"] = FederatedConfig.from_dict(data["federated"])
+        if "local" in data:
+            data["local"] = LocalTrainingConfig.from_dict(data["local"])
+        if "pool" in data:
+            data["pool"] = ModelPoolConfig.from_dict(data["pool"])
+        return cls(**data)

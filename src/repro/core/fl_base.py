@@ -5,15 +5,19 @@ protocol: select participants, dispatch weights, train locally, aggregate,
 evaluate.  :class:`FederatedAlgorithm` implements the common machinery
 (client construction, per-round RNG, evaluation of the global model and of
 the per-level heads, history bookkeeping, optional wall-clock simulation);
-subclasses implement :meth:`run_round`.
+subclasses implement :meth:`run_round`.  :meth:`run` drives the
+:class:`repro.api.callbacks.Callback` hook protocol (round start/end,
+evaluation, fit end) and honours :meth:`request_stop` for early stopping.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Iterable
 
 import numpy as np
 
+from repro.api.callbacks import Callback, CallbackList, ProgressCallback
 from repro.core.config import FederatedConfig, LocalTrainingConfig, ModelPoolConfig
 from repro.core.client import SimulatedClient
 from repro.core.history import RoundRecord, TrainingHistory
@@ -81,6 +85,9 @@ class FederatedAlgorithm(ABC):
         self.global_state = architecture.build(rng=np.random.default_rng(seed)).state_dict()
         self.history = TrainingHistory(self.name)
         self._flops_cache: dict[str, int] = {}
+        #: total rounds of the active run() (read by progress callbacks)
+        self.planned_rounds: int | None = None
+        self._stop_reason: str | None = None
 
     # -- hooks --------------------------------------------------------------------------
     @abstractmethod
@@ -167,12 +174,46 @@ class FederatedAlgorithm(ABC):
         record.level_accuracies = level_accuracies
         record.avg_accuracy = float(np.mean(list(level_accuracies.values()))) if level_accuracies else None
 
+    # -- early stopping -------------------------------------------------------------------
+    @property
+    def stop_reason(self) -> str | None:
+        """Why the current/last run stopped early (None = ran to completion)."""
+        return self._stop_reason
+
+    def request_stop(self, reason: str = "stop requested") -> None:
+        """Ask the training loop to exit after the current round (callback API)."""
+        self._stop_reason = reason
+
     # -- main loop --------------------------------------------------------------------------
-    def run(self, num_rounds: int | None = None, progress: bool = False) -> TrainingHistory:
-        """Run the federated loop, evaluating every ``eval_every`` rounds."""
+    def run(
+        self,
+        num_rounds: int | None = None,
+        callbacks: Iterable[Callback] | None = None,
+        progress: bool = False,
+    ) -> TrainingHistory:
+        """Run the federated loop, evaluating every ``eval_every`` rounds.
+
+        Per round the callbacks fire as ``on_round_start`` → (train) →
+        ``on_evaluate`` (evaluated rounds only, after the record joined the
+        history) → ``on_round_end``; ``on_fit_end`` fires once on exit.  Any
+        callback may call :meth:`request_stop` to end training after the
+        round that is in flight.  One ordering exception: when a stop
+        truncates the run at a round that was not scheduled for evaluation,
+        that final record is evaluated *after* its ``on_round_end`` (the stop
+        only becomes known then) and ``on_evaluate`` fires as the last hook
+        before ``on_fit_end``, so the history always ends with an evaluated
+        record.  ``progress=True`` is shorthand for appending a
+        :class:`~repro.api.callbacks.ProgressCallback`.
+        """
+        callback_list = CallbackList(callbacks)
+        if progress:
+            callback_list.append(ProgressCallback())
         rounds = num_rounds if num_rounds is not None else self.federated_config.num_rounds
         start = len(self.history)
+        self.planned_rounds = rounds
+        self._stop_reason = None
         for round_index in range(start, start + rounds):
+            callback_list.on_round_start(self, round_index)
             record = self.run_round(round_index)
             should_eval = ((round_index + 1) % self.federated_config.eval_every == 0) or (
                 round_index == start + rounds - 1
@@ -180,7 +221,15 @@ class FederatedAlgorithm(ABC):
             if should_eval:
                 self._record_evaluation(record)
             self.history.append(record)
-            if progress:  # pragma: no cover - console convenience only
-                accuracy = f"{record.full_accuracy:.3f}" if record.full_accuracy is not None else "-"
-                print(f"[{self.name}] round {round_index + 1}/{rounds} full_acc={accuracy}")
+            if should_eval:
+                callback_list.on_evaluate(self, record)
+            callback_list.on_round_end(self, record)
+            if self._stop_reason is not None:
+                # an early stop makes this the last round: evaluate it so the
+                # history always ends with an evaluated record
+                if record.full_accuracy is None:
+                    self._record_evaluation(record)
+                    callback_list.on_evaluate(self, record)
+                break
+        callback_list.on_fit_end(self, self.history)
         return self.history

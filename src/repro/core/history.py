@@ -25,6 +25,18 @@ class RoundRecord:
     selected_clients: list[int] = field(default_factory=list)
     wall_clock_seconds: float | None = None
 
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the fields the paper's tables/figures use)."""
+        return {
+            "round": self.round_index,
+            "full_accuracy": self.full_accuracy,
+            "avg_accuracy": self.avg_accuracy,
+            "level_accuracies": self.level_accuracies,
+            "train_loss": self.train_loss,
+            "communication_waste": self.communication_waste,
+            "wall_clock_seconds": self.wall_clock_seconds,
+        }
+
 
 class TrainingHistory:
     """Append-only collection of :class:`RoundRecord` with convenience views."""
@@ -87,19 +99,8 @@ class TrainingHistory:
         return float(sum(rates) / len(rates))
 
     def to_dict(self) -> dict:
-        """JSON-friendly representation (used by the experiment runner)."""
+        """JSON-friendly representation (used by the experiment runner and CLI)."""
         return {
             "algorithm": self.algorithm,
-            "rounds": [
-                {
-                    "round": record.round_index,
-                    "full_accuracy": record.full_accuracy,
-                    "avg_accuracy": record.avg_accuracy,
-                    "level_accuracies": record.level_accuracies,
-                    "train_loss": record.train_loss,
-                    "communication_waste": record.communication_waste,
-                    "wall_clock_seconds": record.wall_clock_seconds,
-                }
-                for record in self.records
-            ],
+            "rounds": [record.to_dict() for record in self.records],
         }

@@ -1,0 +1,50 @@
+"""Helpers for strict ``to_dict``/``from_dict`` round-trips of config dataclasses.
+
+Every configuration dataclass in the repository serialises to plain
+JSON-compatible dicts and reconstructs from them with *strict* key
+checking: unknown keys raise :class:`ValueError` (catching typos in spec
+files early) and value validation is delegated to the dataclass's own
+``__post_init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Any, Mapping
+
+__all__ = ["checked_payload", "coerce_int_tuple"]
+
+
+def checked_payload(cls: type, payload: Any) -> dict:
+    """Validate that ``payload`` is a mapping whose keys all belong to ``cls``.
+
+    Returns a plain-dict copy safe to splat into the dataclass constructor.
+    """
+    if not is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"{cls.__name__} payload must be a mapping, got {type(payload).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__} does not accept key(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+    return dict(payload)
+
+
+def coerce_int_tuple(value: Any, *, field_name: str) -> tuple[int, ...]:
+    """Coerce a JSON list (or tuple) of whole numbers to a tuple of ints.
+
+    Fractional values are rejected rather than truncated — a spec file
+    saying ``7.9`` meant something other than ``7``.
+    """
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(f"{field_name} must be a list of integers, got {type(value).__name__}")
+    items = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, (int, float)) or float(item) != int(item):
+            raise ValueError(f"{field_name} entries must be whole numbers, got {item!r}")
+        items.append(int(item))
+    return tuple(items)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_algorithm
 from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
 from repro.core.client import ClientRoundResult
 from repro.core.config import AdaptiveFLConfig
@@ -33,6 +34,13 @@ from repro.core.rl_selection import RLClientSelector
 __all__ = ["AdaptiveFL"]
 
 
+@register_algorithm(
+    "adaptivefl",
+    description="AdaptiveFL: fine-grained width-wise pruning + RL client selection (the paper)",
+    uses_algorithm_config=True,
+    uses_selection_strategy=True,
+    order=50,
+)
 class AdaptiveFL(FederatedAlgorithm):
     """The paper's algorithm: fine-grained pruning + RL client selection."""
 

@@ -1,4 +1,13 @@
-"""Experiment harness: configurations, runners and report rendering."""
+"""Experiment harness: configurations, runners and report rendering.
+
+The runners are registry-driven (see :mod:`repro.api.registry`):
+``run_algorithm`` instantiates any registered algorithm from its declared
+spec, and ``run_comparison`` prepares the experiment once and runs every
+algorithm on the identical snapshot.  Application code should usually go
+through :mod:`repro.api` (``ExperimentSession``, ``ExperimentSpec``, the
+CLI); this package remains the home of the setting/scale definitions and
+of the paper's reference tables.
+"""
 
 from repro.experiments.reporting import (
     PAPER_TABLE2,
@@ -9,7 +18,7 @@ from repro.experiments.reporting import (
     render_learning_curves,
     render_waste_table,
 )
-from repro.experiments.runner import ALL_ALGORITHM_NAMES, AlgorithmResult, run_algorithm, run_comparison
+from repro.experiments.runner import AlgorithmResult, run_algorithm, run_comparison
 from repro.experiments.scaling import SCALES, ExperimentScale, get_scale
 from repro.experiments.settings import (
     DATASET_BUILDERS,
@@ -42,3 +51,13 @@ __all__ = [
     "PAPER_TABLE3",
     "PAPER_TABLE4",
 ]
+
+
+def __getattr__(name: str):
+    # ALL_ALGORITHM_NAMES is a live view of the algorithm registry; keep it
+    # lazy here too so plugins registered after import are visible
+    if name == "ALL_ALGORITHM_NAMES":
+        from repro.api.registry import available_algorithms
+
+        return available_algorithms()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

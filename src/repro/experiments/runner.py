@@ -1,24 +1,47 @@
-"""End-to-end experiment execution.
+"""End-to-end experiment execution, driven purely by the algorithm registry.
 
-``run_algorithm`` instantiates one algorithm on a prepared experiment and
-trains it; ``run_comparison`` does the same for a list of algorithms on
-the *same* data/partition/devices so the comparison is paired, as in the
-paper's tables.
+``run_algorithm`` looks the algorithm up in :mod:`repro.api.registry` and
+instantiates it from its declared :class:`~repro.api.registry.AlgorithmSpec`
+— no per-algorithm branches live here.  ``run_comparison`` validates every
+name against the registry *before* preparing any data, then prepares the
+experiment **once** and runs every algorithm on the identical snapshot
+(same dataset, partition and device profiles), so comparisons are paired
+as in the paper's tables and N× faster than re-preparing per algorithm.
+All shared prepared objects are read-only by construction: each algorithm
+builds its own clients, pool and global state, and the resource model
+draws are keyed on (seed, client, round), independent of run order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
-from repro.baselines import ALGORITHMS
+from repro.api.callbacks import Callback
+from repro.api.registry import available_algorithms, get_algorithm, validate_algorithm_names
 from repro.core.history import TrainingHistory
-from repro.core.server import AdaptiveFL
 from repro.devices.testbed import TestbedSimulator
 from repro.experiments.settings import ExperimentSetting, PreparedExperiment, prepare_experiment
 
 __all__ = ["AlgorithmResult", "run_algorithm", "run_comparison", "ALL_ALGORITHM_NAMES"]
 
-ALL_ALGORITHM_NAMES = ("all_large", "decoupled", "heterofl", "scalefl", "adaptivefl")
+
+def __getattr__(name: str):
+    # live registry view (PEP 562): reflects plugins registered after import
+    if name == "ALL_ALGORITHM_NAMES":
+        return available_algorithms()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+#: Callbacks argument accepted by the runners: ready instances, or zero-arg
+#: factories (recommended for stateful callbacks shared across a comparison).
+CallbackArg = Callback | Callable[[], Callback]
+
+
+def _materialize_callbacks(callbacks: Sequence[CallbackArg] | None) -> list[Callback] | None:
+    if callbacks is None:
+        return None
+    return [cb if isinstance(cb, Callback) else cb() for cb in callbacks]
 
 
 @dataclass
@@ -41,44 +64,43 @@ class AlgorithmResult:
             communication_waste=history.mean_communication_waste(),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-friendly summary plus the full round-by-round history."""
+        return {
+            "algorithm": self.algorithm,
+            "full_accuracy": self.full_accuracy,
+            "avg_accuracy": self.avg_accuracy,
+            "communication_waste": self.communication_waste,
+            "history": self.history.to_dict(),
+        }
+
 
 def run_algorithm(
     name: str,
     prepared: PreparedExperiment,
-    selection_strategy: str = "rl-cs",
+    selection_strategy: str | None = None,
     num_rounds: int | None = None,
     testbed: TestbedSimulator | None = None,
+    callbacks: Sequence[CallbackArg] | None = None,
 ) -> AlgorithmResult:
-    """Train one algorithm (``"adaptivefl"`` or a baseline name)."""
-    kwargs = prepared.algorithm_kwargs()
-    if testbed is not None:
-        kwargs["testbed"] = testbed
-    if name == "adaptivefl":
-        algorithm = AdaptiveFL(
-            algorithm_config=prepared.adaptivefl_config(selection_strategy),
-            pool_config=prepared.pool_config,
-            **kwargs,
-        )
-    elif name in ALGORITHMS:
-        if name != "heterofl":
-            kwargs["pool_config"] = prepared.pool_config
-        algorithm = ALGORITHMS[name](**kwargs)
-    else:
-        raise KeyError(f"unknown algorithm {name!r}; available: {ALL_ALGORITHM_NAMES}")
-    history = algorithm.run(num_rounds=num_rounds)
-    label = name if name != "adaptivefl" or selection_strategy == "rl-cs" else f"adaptivefl+{selection_strategy}"
-    return AlgorithmResult.from_history(label, history)
+    """Train one registered algorithm on a prepared experiment."""
+    spec = get_algorithm(name)
+    algorithm = spec.build(prepared, selection_strategy=selection_strategy, testbed=testbed)
+    history = algorithm.run(num_rounds=num_rounds, callbacks=_materialize_callbacks(callbacks))
+    return AlgorithmResult.from_history(spec.run_label(selection_strategy), history)
 
 
 def run_comparison(
     setting: ExperimentSetting,
-    algorithms: tuple[str, ...] = ALL_ALGORITHM_NAMES,
+    algorithms: Iterable[str] | None = None,
     num_rounds: int | None = None,
     testbed: TestbedSimulator | None = None,
+    callbacks: Sequence[CallbackArg] | None = None,
 ) -> dict[str, AlgorithmResult]:
-    """Run several algorithms on the identical prepared experiment."""
-    results: dict[str, AlgorithmResult] = {}
-    for name in algorithms:
-        prepared = prepare_experiment(setting)
-        results[name] = run_algorithm(name, prepared, num_rounds=num_rounds, testbed=testbed)
-    return results
+    """Run several algorithms on the *same* prepared experiment (paired)."""
+    names = validate_algorithm_names(algorithms if algorithms is not None else available_algorithms())
+    prepared = prepare_experiment(setting)
+    return {
+        name: run_algorithm(name, prepared, num_rounds=num_rounds, testbed=testbed, callbacks=callbacks)
+        for name in names
+    }

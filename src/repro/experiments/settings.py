@@ -8,11 +8,13 @@ It also exposes the paper's Table 1 split settings for VGG16.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig, ModelPoolConfig
+from repro.core.serialization import checked_payload
 from repro.data.datasets import Dataset, make_cifar10_like, make_cifar100_like, make_femnist_like, make_widar_like
 from repro.data.partition import ClientPartition, partition_dataset
 from repro.devices.profiles import DeviceProfile, build_device_profiles
@@ -63,6 +65,20 @@ class ExperimentSetting:
             raise ValueError(f"unknown distribution {self.distribution!r}")
         if self.distribution == "dirichlet" and self.alpha is None:
             raise ValueError("dirichlet distribution requires alpha")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation; round-trips through :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSetting":
+        data = checked_payload(cls, payload)
+        if "overrides" in data:
+            overrides = data["overrides"]
+            if not isinstance(overrides, Mapping):
+                raise ValueError("overrides must be a mapping of scale fields")
+            data["overrides"] = dict(overrides)
+        return cls(**data)
 
 
 @dataclass

@@ -1,0 +1,171 @@
+"""ExperimentSession (prepare-once reuse) and the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.api.callbacks import Callback
+from repro.api.cli import main
+from repro.api.session import ExperimentSession
+from repro.api.spec import ExperimentSpec
+from repro.experiments import ExperimentSetting, run_algorithm, run_comparison, prepare_experiment
+
+CI_SETTING = ExperimentSetting(
+    dataset="cifar10", model="simple_cnn", scale="ci", overrides={"num_rounds": 2, "eval_every": 2}
+)
+
+
+class TestSession:
+    def test_prepares_exactly_once(self, monkeypatch):
+        calls = []
+        real = prepare_experiment
+
+        def counting(setting):
+            calls.append(setting)
+            return real(setting)
+
+        monkeypatch.setattr("repro.api.session.prepare_experiment", counting)
+        session = ExperimentSession(CI_SETTING)
+        session.run("heterofl")
+        session.run("scalefl")
+        session.compare(["all_large"])
+        assert len(calls) == 1
+        assert set(session.results) == {"heterofl", "scalefl", "all_large"}
+
+    def test_comparison_is_paired_with_functional_runner(self):
+        """Session reuse must give the same numbers as a fresh prepared run."""
+        session = ExperimentSession(CI_SETTING)
+        session.run("adaptivefl")
+        fresh = run_algorithm("adaptivefl", prepare_experiment(CI_SETTING))
+        assert session.results["adaptivefl"].full_accuracy == pytest.approx(fresh.full_accuracy)
+
+    def test_run_comparison_matches_individual_runs(self):
+        results = run_comparison(CI_SETTING, ("heterofl", "adaptivefl"))
+        single = run_algorithm("heterofl", prepare_experiment(CI_SETTING))
+        assert results["heterofl"].full_accuracy == pytest.approx(single.full_accuracy)
+
+    def test_callback_factories_fresh_per_run(self):
+        created = []
+
+        class Tagged(Callback):
+            def __init__(self):
+                created.append(self)
+
+        session = ExperimentSession(CI_SETTING).with_callback(Tagged)
+        session.run("heterofl")
+        session.run("scalefl")
+        assert len(created) == 2
+
+    def test_strategy_labelling(self):
+        session = ExperimentSession(CI_SETTING)
+        result = session.run("adaptivefl", selection_strategy="random")
+        assert result.algorithm == "adaptivefl+random"
+        assert "adaptivefl+random" in session.results
+
+    def test_unknown_algorithm_fails_before_preparation(self):
+        session = ExperimentSession(CI_SETTING)
+        with pytest.raises(KeyError, match="registered"):
+            session.run("fedprox")
+        assert session._prepared is None  # nothing was materialised
+
+    def test_from_spec_and_run_spec(self, tmp_path):
+        spec = ExperimentSpec(setting=CI_SETTING, algorithms=("heterofl",), num_rounds=1)
+        path = spec.save(tmp_path / "spec.json")
+        session = ExperimentSession.from_spec(path)
+        results = session.run_spec()
+        assert set(results) == {"heterofl"}
+        assert len(results["heterofl"].history) == 1
+
+    def test_save_results(self, tmp_path):
+        session = ExperimentSession(CI_SETTING)
+        session.run("heterofl")
+        written = session.save_results(tmp_path)
+        names = {path.name for path in written}
+        assert names == {"heterofl_history.json", "summary.json"}
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["setting"]["model"] == "simple_cnn"
+        assert "heterofl" in summary["results"]
+        history = json.loads((tmp_path / "heterofl_history.json").read_text())
+        assert history["algorithm"] == "heterofl"
+        assert len(history["rounds"]) == 2
+
+
+class TestCli:
+    def test_run_writes_history_and_summary(self, tmp_path, capsys):
+        rc = main(
+            [
+                "run", "--algorithm", "adaptivefl", "--dataset", "cifar10", "--scale", "ci",
+                "--rounds", "2", "--quiet", "--output-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        history = json.loads((tmp_path / "adaptivefl_history.json").read_text())
+        assert history["algorithm"] == "adaptivefl"
+        assert len(history["rounds"]) == 2
+        assert (tmp_path / "summary.json").exists()
+        # the resolved spec is echoed for reproducibility
+        spec = ExperimentSpec.load(tmp_path / "spec.json")
+        assert spec.algorithms == ("adaptivefl",)
+        assert "adaptivefl" in capsys.readouterr().out
+
+    def test_compare_from_spec_file(self, tmp_path, capsys):
+        spec = ExperimentSpec(setting=CI_SETTING, algorithms=("heterofl", "scalefl"), num_rounds=1)
+        spec_path = spec.save(tmp_path / "spec.json")
+        out_dir = tmp_path / "out"
+        rc = main(["compare", "--spec", str(spec_path), "--quiet", "--output-dir", str(out_dir)])
+        assert rc == 0
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert set(summary["results"]) == {"heterofl", "scalefl"}
+
+    def test_stream_history_jsonl(self, tmp_path):
+        rc = main(
+            [
+                "run", "--algorithm", "heterofl", "--scale", "ci", "--rounds", "2",
+                "--quiet", "--stream-history", "--output-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        lines = (tmp_path / "heterofl_rounds.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["algorithm"] == "heterofl"
+
+    def test_spec_conflicts_with_explicit_flags(self, tmp_path, capsys):
+        spec_path = ExperimentSpec(setting=CI_SETTING, algorithms=("adaptivefl",)).save(tmp_path / "spec.json")
+        rc = main(["run", "--spec", str(spec_path), "--algorithm", "heterofl"])
+        assert rc == 2
+        assert "cannot be combined with --spec" in capsys.readouterr().err
+
+    def test_run_and_compare_accept_the_same_spec_with_strategy(self, tmp_path):
+        # a spec whose strategy only applies to adaptivefl must be runnable
+        # by BOTH subcommands, even with baselines in the algorithm list
+        spec = ExperimentSpec(
+            setting=CI_SETTING, algorithms=("heterofl", "adaptivefl"),
+            selection_strategy="random", num_rounds=1,
+        )
+        spec_path = spec.save(tmp_path / "spec.json")
+        for sub, out in (("run", "out_run"), ("compare", "out_cmp")):
+            rc = main([sub, "--spec", str(spec_path), "--quiet", "--output-dir", str(tmp_path / out)])
+            assert rc == 0, sub
+            summary = json.loads((tmp_path / out / "summary.json").read_text())
+            assert set(summary["results"]) == {"heterofl", "adaptivefl+random"}
+
+    def test_missing_spec_file_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["compare", "--spec", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_algorithm_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["run", "--algorithm", "fedprox", "--scale", "ci", "--output-dir", str(tmp_path)])
+        assert rc == 2
+        assert "registered" in capsys.readouterr().err
+
+    def test_algorithms_listing(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("all_large", "decoupled", "heterofl", "scalefl", "adaptivefl"):
+            assert name in out
+
+    def test_progress_streams_by_default(self, tmp_path, capsys):
+        rc = main(["run", "--algorithm", "heterofl", "--scale", "ci", "--rounds", "1", "--output-dir", str(tmp_path)])
+        assert rc == 0
+        assert "[heterofl] round 1/1" in capsys.readouterr().out

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig
+from repro.core.config import AdaptiveFLConfig, FederatedConfig
 from repro.core.server import AdaptiveFL
 
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data.datasets import Dataset, make_cifar10_like, make_femnist_like
+from repro.data.datasets import make_cifar10_like, make_femnist_like
 from repro.data.loader import DataLoader
 from repro.data.partition import (
     ClientPartition,
