@@ -19,6 +19,8 @@ Package layout:
 * ``repro.data`` — synthetic federated datasets and partitioners.
 * ``repro.devices`` — device heterogeneity / resource-uncertainty models and
   the simulated real test-bed.
+* ``repro.engine`` — the parallel client-execution engine: serial, thread
+  and process executors with bit-identical, seed-stable results.
 * ``repro.core`` — the paper's contribution: fine-grained width-wise
   pruning, RL-based client selection, heterogeneous aggregation and the
   AdaptiveFL training loop.
@@ -58,6 +60,12 @@ _EXPORTS: dict[str, str] = {
     "EarlyStopping": "repro.api.callbacks",
     "WallClockBudget": "repro.api.callbacks",
     "JsonHistoryStreamer": "repro.api.callbacks",
+    # execution engine
+    "Executor": "repro.engine.base",
+    "SerialExecutor": "repro.engine.serial",
+    "ThreadExecutor": "repro.engine.thread",
+    "ProcessExecutor": "repro.engine.process",
+    "create_executor": "repro.engine.factory",
     # experiment layer
     "ExperimentSpec": "repro.api.spec",
     "ExperimentSession": "repro.api.session",

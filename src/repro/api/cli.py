@@ -5,6 +5,7 @@ Three subcommands drive the whole experiment layer from a shell:
 * ``repro run`` — train one algorithm, e.g.::
 
       python -m repro run --algorithm adaptivefl --dataset cifar10 --scale ci
+      python -m repro run --algorithm adaptivefl --executor process --max-workers 4
 
 * ``repro compare`` — run several algorithms on the identical prepared
   experiment, from flags or from a saved spec::
@@ -30,6 +31,7 @@ from repro.api.callbacks import Callback, EarlyStopping, JsonHistoryStreamer, Pr
 from repro.api.registry import available_algorithms, get_algorithm, validate_algorithm_names
 from repro.api.session import ExperimentSession
 from repro.api.spec import ExperimentSpec
+from repro.engine.factory import EXECUTOR_NAMES
 from repro.experiments.settings import DATASET_BUILDERS, ExperimentSetting
 from repro.experiments.reporting import format_table, render_accuracy_table
 
@@ -54,6 +56,18 @@ def _add_setting_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--proportion", default="4:3:3", help="weak:medium:strong device proportion")
     group.add_argument("--scale", default="ci", help="experiment scale preset (ci, small, paper)")
     group.add_argument("--seed", type=int, default=0)
+    group.add_argument(
+        "--executor",
+        default="serial",
+        choices=list(EXECUTOR_NAMES),
+        help="client-execution engine; bit-identical results, different wall-clock",
+    )
+    group.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker count for thread/process executors (default: usable CPUs)",
+    )
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -105,6 +119,8 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         proportion=args.proportion,
         scale=args.scale,
         seed=args.seed,
+        executor=args.executor,
+        max_workers=args.max_workers,
     )
 
 

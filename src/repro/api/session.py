@@ -17,6 +17,7 @@ fresh for every run when given as factories.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Iterable
 
@@ -62,6 +63,22 @@ class ExperimentSession:
         if self._prepared is None:
             self._prepared = prepare_experiment(self.setting)
         return self._prepared
+
+    # -- execution engine -------------------------------------------------------------
+    def with_executor(self, executor: str, max_workers: int | None = None) -> "ExperimentSession":
+        """Select the client-execution engine for every run of this session.
+
+        ``executor`` is "serial" (default), "thread" or "process"; all three
+        produce bit-identical histories at a fixed seed, so this is purely a
+        wall-clock knob.  Must be called before the first run (the executor
+        is baked into the prepared experiment's federated config).
+        """
+        if self._prepared is not None:
+            raise RuntimeError("with_executor must be called before the experiment is prepared")
+        self.setting = replace(self.setting, executor=executor, max_workers=max_workers)
+        if self.spec is not None:
+            self.spec = replace(self.spec, setting=self.setting)
+        return self
 
     # -- callbacks --------------------------------------------------------------------
     def with_callback(self, callback: Callback | Callable[[], Callback]) -> "ExperimentSession":

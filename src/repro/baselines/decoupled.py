@@ -16,7 +16,6 @@ from repro.baselines.base import RandomSelectionMixin, capacity_level_assignment
 from repro.core.aggregation import ClientUpdate, fedavg_aggregate
 from repro.core.fl_base import FederatedAlgorithm
 from repro.core.history import RoundRecord
-from repro.core.local_training import train_local_model
 from repro.core.metrics import communication_waste_rate, evaluate_state
 from repro.core.pruning import extract_submodel_state
 
@@ -47,24 +46,22 @@ class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
         rng = self.round_rng(round_index)
         selected = self.sample_clients(rng)
 
-        per_level_updates: dict[str, list[ClientUpdate]] = {level: [] for level in self.level_states}
-        losses: list[float] = []
+        assignments = []
+        levels: list[str] = []
         dispatched: list[str] = []
         for client_id in selected:
             level = self.client_level[client_id]
             config = self.level_heads[level]
-            client = self.clients[client_id]
-            result = train_local_model(
-                architecture=self.architecture,
-                group_sizes=self.pool.group_sizes(config),
-                initial_state=self.level_states[level],
-                dataset=client.dataset,
-                config=self.local_config,
-                rng=np.random.default_rng((self.seed, round_index, client_id)),
-            )
+            assignments.append((client_id, self.pool.group_sizes(config), self.level_states[level]))
+            levels.append(level)
+            dispatched.append(config.name)
+
+        results = self.run_local_training(round_index, assignments)
+        per_level_updates: dict[str, list[ClientUpdate]] = {level: [] for level in self.level_states}
+        losses: list[float] = []
+        for level, result in zip(levels, results):
             per_level_updates[level].append(ClientUpdate(result.state, result.num_samples))
             losses.append(result.mean_loss)
-            dispatched.append(config.name)
 
         for level, updates in per_level_updates.items():
             if updates:

@@ -15,7 +15,6 @@ from repro.baselines.base import RandomSelectionMixin
 from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
 from repro.core.fl_base import FederatedAlgorithm
 from repro.core.history import RoundRecord
-from repro.core.local_training import train_local_model
 from repro.core.metrics import communication_waste_rate
 
 __all__ = ["AllLargeFedAvg"]
@@ -37,20 +36,12 @@ class AllLargeFedAvg(RandomSelectionMixin, FederatedAlgorithm):
         full_sizes = self.architecture.full_group_sizes()
         full_params = self.pool.full_config.num_params
 
-        updates: list[ClientUpdate] = []
-        losses: list[float] = []
-        for client_id in selected:
-            client = self.clients[client_id]
-            result = train_local_model(
-                architecture=self.architecture,
-                group_sizes=full_sizes,
-                initial_state=self.global_state,
-                dataset=client.dataset,
-                config=self.local_config,
-                rng=np.random.default_rng((self.seed, round_index, client_id)),
-            )
-            updates.append(ClientUpdate(result.state, result.num_samples))
-            losses.append(result.mean_loss)
+        results = self.run_local_training(
+            round_index,
+            [(client_id, full_sizes, self.global_state) for client_id in selected],
+        )
+        updates = [ClientUpdate(result.state, result.num_samples) for result in results]
+        losses = [result.mean_loss for result in results]
 
         self.global_state = aggregate_heterogeneous(self.global_state, updates)
         dispatched = ["L1"] * len(selected)

@@ -18,7 +18,6 @@ from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
 from repro.core.config import ModelPoolConfig
 from repro.core.fl_base import FederatedAlgorithm
 from repro.core.history import RoundRecord
-from repro.core.local_training import train_local_model
 from repro.core.metrics import communication_waste_rate
 from repro.core.pruning import extract_submodel_state
 
@@ -59,25 +58,17 @@ class HeteroFL(RandomSelectionMixin, FederatedAlgorithm):
         rng = self.round_rng(round_index)
         selected = self.sample_clients(rng)
 
-        updates: list[ClientUpdate] = []
-        losses: list[float] = []
+        assignments = []
         dispatched: list[str] = []
         for client_id in selected:
-            level = self.client_level[client_id]
-            config = self.level_heads[level]
-            client = self.clients[client_id]
+            config = self.level_heads[self.client_level[client_id]]
             initial_state = extract_submodel_state(self.global_state, self.pool, config)
-            result = train_local_model(
-                architecture=self.architecture,
-                group_sizes=self.pool.group_sizes(config),
-                initial_state=initial_state,
-                dataset=client.dataset,
-                config=self.local_config,
-                rng=np.random.default_rng((self.seed, round_index, client_id)),
-            )
-            updates.append(ClientUpdate(result.state, result.num_samples))
-            losses.append(result.mean_loss)
+            assignments.append((client_id, self.pool.group_sizes(config), initial_state))
             dispatched.append(config.name)
+
+        results = self.run_local_training(round_index, assignments)
+        updates = [ClientUpdate(result.state, result.num_samples) for result in results]
+        losses = [result.mean_loss for result in results]
 
         self.global_state = aggregate_heterogeneous(self.global_state, updates)
         sizes = [self.level_heads[self.client_level[c]].num_params for c in selected]

@@ -25,7 +25,6 @@ from repro.baselines.base import RandomSelectionMixin, capacity_level_assignment
 from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
 from repro.core.fl_base import FederatedAlgorithm
 from repro.core.history import RoundRecord
-from repro.core.local_training import train_local_model
 from repro.core.metrics import communication_waste_rate
 from repro.core.pruning import slice_state_dict
 from repro.nn.models.spec import SlimmableArchitecture, scaled_size
@@ -134,25 +133,18 @@ class ScaleFL(RandomSelectionMixin, FederatedAlgorithm):
         rng = self.round_rng(round_index)
         selected = self.sample_clients(rng)
 
-        updates: list[ClientUpdate] = []
-        losses: list[float] = []
+        assignments = []
         dispatched: list[str] = []
         for client_id in selected:
             level = self.client_level[client_id]
             sizes = self.level_sizes[level]
-            client = self.clients[client_id]
             initial_state = slice_state_dict(self.global_state, self.architecture, sizes)
-            result = train_local_model(
-                architecture=self.architecture,
-                group_sizes=sizes,
-                initial_state=initial_state,
-                dataset=client.dataset,
-                config=self.local_config,
-                rng=np.random.default_rng((self.seed, round_index, client_id)),
-            )
-            updates.append(ClientUpdate(result.state, result.num_samples))
-            losses.append(result.mean_loss)
+            assignments.append((client_id, sizes, initial_state))
             dispatched.append(f"{level}1")
+
+        results = self.run_local_training(round_index, assignments)
+        updates = [ClientUpdate(result.state, result.num_samples) for result in results]
+        losses = [result.mean_loss for result in results]
 
         self.global_state = aggregate_heterogeneous(self.global_state, updates)
         sizes_sent = [self.level_params[self.client_level[c]] for c in selected]

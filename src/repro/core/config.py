@@ -13,6 +13,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping
 
 from repro.core.serialization import checked_payload, coerce_int_tuple
+from repro.engine.factory import validate_executor_choice
 
 __all__ = ["LocalTrainingConfig", "FederatedConfig", "ModelPoolConfig", "AdaptiveFLConfig"]
 
@@ -61,6 +62,11 @@ class FederatedConfig:
     eval_every: int = 10
     eval_batch_size: int = 200
     seed: int = 0
+    #: how per-client local training fans out: "serial", "thread" or "process"
+    #: (all bit-identical at a fixed seed — see :mod:`repro.engine`)
+    executor: str = "serial"
+    #: worker count for pool-based executors (None = the usable CPU count)
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
@@ -69,6 +75,7 @@ class FederatedConfig:
             raise ValueError("clients_per_round must be positive")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+        validate_executor_choice(self.executor, self.max_workers)
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -3,9 +3,14 @@
 Every algorithm in this repository follows the same synchronous FL
 protocol: select participants, dispatch weights, train locally, aggregate,
 evaluate.  :class:`FederatedAlgorithm` implements the common machinery
-(client construction, per-round RNG, evaluation of the global model and of
-the per-level heads, history bookkeeping, optional wall-clock simulation);
-subclasses implement :meth:`run_round`.  :meth:`run` drives the
+(client construction, per-round and per-client RNG streams, the parallel
+client-execution engine, evaluation of the global model and of the
+per-level heads, history bookkeeping, optional wall-clock simulation);
+subclasses implement :meth:`run_round` and dispatch their per-client work
+through :meth:`run_local_training` / :meth:`execute_client_tasks`, which
+fan out across the configured :class:`~repro.engine.base.Executor`
+(``federated_config.executor``) with bit-identical results for every
+executor choice.  :meth:`run` drives the
 :class:`repro.api.callbacks.Callback` hook protocol (round start/end,
 evaluation, fit end) and honours :meth:`request_stop` for early stopping.
 """
@@ -13,7 +18,7 @@ evaluation, fit end) and honours :meth:`request_stop` for early stopping.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -21,7 +26,12 @@ from repro.api.callbacks import Callback, CallbackList, ProgressCallback
 from repro.core.config import FederatedConfig, LocalTrainingConfig, ModelPoolConfig
 from repro.core.client import SimulatedClient
 from repro.core.history import RoundRecord, TrainingHistory
+from repro.core.local_training import LocalTrainingResult
 from repro.core.metrics import evaluate_state
+from repro.engine.base import Executor
+from repro.engine.factory import create_executor
+from repro.engine.rng import client_stream
+from repro.engine.tasks import ClientTask, TrainSubmodelTask
 from repro.core.model_pool import ModelPool
 from repro.data.datasets import Dataset
 from repro.data.partition import ClientPartition
@@ -84,6 +94,8 @@ class FederatedAlgorithm(ABC):
         ]
         self.global_state = architecture.build(rng=np.random.default_rng(seed)).state_dict()
         self.history = TrainingHistory(self.name)
+        self._executor: Executor | None = None
+        self._owns_executor = False
         self._flops_cache: dict[str, int] = {}
         #: total rounds of the active run() (read by progress callbacks)
         self.planned_rounds: int | None = None
@@ -103,8 +115,91 @@ class FederatedAlgorithm(ABC):
         """Deterministic per-round RNG, independent of evaluation cadence."""
         return np.random.default_rng((self.seed, round_index))
 
+    def client_stream(self, round_index: int, client_id: int) -> np.random.SeedSequence:
+        """The private RNG stream of one client's work in one round.
+
+        Streams are keyed on (seed, round, client), so a client's local
+        training is bit-identical no matter which executor, worker or
+        execution order runs it.
+        """
+        return client_stream(self.seed, round_index, client_id)
+
+    # -- parallel client execution --------------------------------------------------------
+    @property
+    def executor(self) -> Executor:
+        """The client-execution engine (lazily built from the federated config)."""
+        if self._executor is None:
+            self._executor = create_executor(
+                self.federated_config.executor, self.federated_config.max_workers
+            )
+            self._owns_executor = True
+        return self._executor
+
+    def set_executor(self, executor: Executor | None) -> None:
+        """Inject a pre-built executor (tests, benchmarks, latency wrappers).
+
+        The caller keeps ownership: the algorithm will use the executor but
+        never shut it down — :meth:`close` and the end of :meth:`run` leave
+        it attached and alive.  Pass ``None`` to drop an injected executor
+        and fall back to the config-built one.
+        """
+        self.close()
+        self._executor = executor
+        self._owns_executor = False
+
+    def close(self) -> None:
+        """Release the config-built executor's worker pools (idempotent).
+
+        Called at the end of every :meth:`run`; a later run lazily rebuilds
+        the executor from the same config.  Injected executors
+        (:meth:`set_executor`) belong to their caller and are left running.
+        """
+        if self._executor is not None and self._owns_executor:
+            self._executor.shutdown()
+            self._executor = None
+            self._owns_executor = False
+
+    def execute_client_tasks(self, tasks: Sequence[ClientTask]) -> list:
+        """Fan per-client tasks out through the executor (order-preserving)."""
+        return self.executor.map(tasks)
+
+    def run_local_training(
+        self,
+        round_index: int,
+        assignments: Sequence[tuple[int, Mapping[str, int], Mapping[str, np.ndarray]]],
+    ) -> list[LocalTrainingResult]:
+        """Train one submodel per ``(client_id, group_sizes, initial_state)``.
+
+        The common client loop of every baseline: each assignment becomes an
+        independent :class:`~repro.engine.tasks.TrainSubmodelTask` with its
+        own RNG stream, and results come back in assignment order.
+        """
+        tasks = [
+            TrainSubmodelTask(
+                architecture=self.architecture,
+                group_sizes=group_sizes,
+                initial_state=initial_state,
+                dataset=self.clients[client_id].dataset,
+                local_config=self.local_config,
+                client_id=client_id,
+                rng_stream=self.client_stream(round_index, client_id),
+            )
+            for client_id, group_sizes, initial_state in assignments
+        ]
+        return self.execute_client_tasks(tasks)
+
     def client_capacity(self, client_id: int, round_index: int) -> float:
-        """The client's available resources this round (server never reads this)."""
+        """The client's available resources this round.
+
+        Conceptually device-side information: the *real* server never
+        observes it, and no algorithm may use it to steer selection.  The
+        simulation reads it in two places that both stand in for the
+        device: when handing it to :meth:`SimulatedClient.local_round`, and
+        in AdaptiveFL's planning phase to predict the deterministic
+        resource-aware pruning outcome (the same ⟨dispatched, returned⟩
+        pair the device will report back) so RL-table updates can resolve
+        before training fans out.
+        """
         return self.resource_model.available_capacity(client_id, round_index)
 
     def level_group_sizes(self) -> dict[str, dict[str, int]]:
@@ -212,24 +307,29 @@ class FederatedAlgorithm(ABC):
         start = len(self.history)
         self.planned_rounds = rounds
         self._stop_reason = None
-        for round_index in range(start, start + rounds):
-            callback_list.on_round_start(self, round_index)
-            record = self.run_round(round_index)
-            should_eval = ((round_index + 1) % self.federated_config.eval_every == 0) or (
-                round_index == start + rounds - 1
-            )
-            if should_eval:
-                self._record_evaluation(record)
-            self.history.append(record)
-            if should_eval:
-                callback_list.on_evaluate(self, record)
-            callback_list.on_round_end(self, record)
-            if self._stop_reason is not None:
-                # an early stop makes this the last round: evaluate it so the
-                # history always ends with an evaluated record
-                if record.full_accuracy is None:
+        try:
+            for round_index in range(start, start + rounds):
+                callback_list.on_round_start(self, round_index)
+                record = self.run_round(round_index)
+                should_eval = ((round_index + 1) % self.federated_config.eval_every == 0) or (
+                    round_index == start + rounds - 1
+                )
+                if should_eval:
                     self._record_evaluation(record)
+                self.history.append(record)
+                if should_eval:
                     callback_list.on_evaluate(self, record)
-                break
+                callback_list.on_round_end(self, record)
+                if self._stop_reason is not None:
+                    # an early stop makes this the last round: evaluate it so the
+                    # history always ends with an evaluated record
+                    if record.full_accuracy is None:
+                        self._record_evaluation(record)
+                        callback_list.on_evaluate(self, record)
+                    break
+        finally:
+            # release worker pools between runs; a later run() or run_round()
+            # lazily rebuilds the executor from the same config
+            self.close()
         callback_list.on_fit_end(self, self.history)
         return self.history

@@ -28,8 +28,9 @@ from repro.core.fl_base import FederatedAlgorithm
 from repro.core.history import RoundRecord
 from repro.core.metrics import communication_waste_rate
 from repro.core.model_pool import SubmodelConfig
-from repro.core.pruning import extract_submodel_state
+from repro.core.pruning import extract_submodel_state, resource_aware_prune
 from repro.core.rl_selection import RLClientSelector
+from repro.engine.tasks import LocalRoundTask
 
 __all__ = ["AdaptiveFL"]
 
@@ -70,9 +71,25 @@ class AdaptiveFL(FederatedAlgorithm):
         return self.pool.by_rank(index)
 
     def run_round(self, round_index: int) -> RoundRecord:
+        """One round: plan serially (Algorithm 1's control flow), train in parallel.
+
+        The round splits into two phases.  The **planning** phase walks the
+        participant slots in order — draw a pool entry, select a client,
+        update the RL tables — exactly as the sequential protocol dictates:
+        later slots must see earlier slots' table updates.  Those updates
+        need only the ⟨dispatched, returned⟩ pair (Algorithm 1, lines
+        12-26), and the returned size is the deterministic outcome of
+        resource-aware pruning under the capacity the server's resource
+        model already simulates, so the whole control flow resolves before
+        any training happens.  The **execution** phase then fans the
+        independent local rounds out through the executor; per-client RNG
+        streams make the result bit-identical to the historical fully
+        sequential implementation for every executor choice.
+        """
         rng = self.round_rng(round_index)
         selected: set[int] = set()
-        results: list[ClientRoundResult] = []
+        tasks: list[LocalRoundTask] = []
+        planned_returns: list[SubmodelConfig] = []
 
         participants = min(self.federated_config.clients_per_round, self.num_clients)
         for _ in range(participants):
@@ -80,17 +97,28 @@ class AdaptiveFL(FederatedAlgorithm):
             client_id = self.selector.select(dispatched, rng, excluded=selected)
             selected.add(client_id)
 
-            dispatched_state = extract_submodel_state(self.global_state, self.pool, dispatched)
             capacity = self.client_capacity(client_id, round_index)
-            result = self.clients[client_id].local_round(
-                pool=self.pool,
-                dispatched=dispatched,
-                dispatched_state=dispatched_state,
-                available_capacity=capacity,
-                rng=np.random.default_rng((self.seed, round_index, client_id)),
+            planned_return = resource_aware_prune(self.pool, dispatched, capacity)
+            self.selector.update(dispatched, planned_return, client_id)
+            planned_returns.append(planned_return)
+            tasks.append(
+                LocalRoundTask(
+                    client=self.clients[client_id],
+                    pool=self.pool,
+                    dispatched=dispatched,
+                    dispatched_state=extract_submodel_state(self.global_state, self.pool, dispatched),
+                    available_capacity=capacity,
+                    rng_stream=self.client_stream(round_index, client_id),
+                )
             )
-            results.append(result)
-            self.selector.update(result.dispatched, result.returned, client_id)
+
+        results: list[ClientRoundResult] = self.execute_client_tasks(tasks)
+        for result, planned_return in zip(results, planned_returns):
+            if result.returned.name != planned_return.name:  # pragma: no cover - invariant
+                raise RuntimeError(
+                    f"client {result.client_id} returned {result.returned.name} but the "
+                    f"resource plan predicted {planned_return.name}"
+                )
 
         updates = [ClientUpdate(result.state, result.num_samples) for result in results]
         self.global_state = aggregate_heterogeneous(self.global_state, updates)

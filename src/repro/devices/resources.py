@@ -5,8 +5,13 @@ whose available resources change on the fly.  :class:`ResourceModel`
 produces, for every (client, round) pair, the capacity actually available
 for local training: the device's nominal class capacity scaled by a
 truncated-Gaussian fluctuation.  The draw is keyed on (seed, client,
-round) so it is reproducible and independent of evaluation order — the
-server never reads it, only the simulated device does.
+round) so it is reproducible and independent of evaluation order.
+Conceptually this is device-side information the real server never
+observes; in the simulation the value feeds the simulated device's
+resource-aware pruning — both when the client trains and when AdaptiveFL's
+planning phase predicts that same pruning outcome to update its RL tables
+before training fans out (see ``AdaptiveFL.run_round``).  No algorithm may
+use it to steer client *selection*.
 """
 
 from __future__ import annotations

@@ -1,0 +1,74 @@
+"""The ``Executor`` protocol: how per-client work fans out across workers.
+
+An executor runs a batch of independent :class:`~repro.engine.tasks.ClientTask`
+objects and returns their results **in submission order**.  Determinism is
+the contract that makes executors interchangeable: every task carries its
+own :class:`numpy.random.SeedSequence` stream, so a task's result depends
+only on the task itself — never on which worker ran it, in which order, or
+alongside what — and every executor produces bit-identical results.
+
+This module is self-contained (no imports from the rest of the package) so
+that low-level modules such as :mod:`repro.core.config` can reference the
+executor vocabulary without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+__all__ = ["Executor", "run_task", "default_max_workers"]
+
+
+def run_task(task: Any) -> Any:
+    """Execute one task (module-level so process pools can pickle it by name)."""
+    return task.run()
+
+
+def default_max_workers() -> int:
+    """Worker count when the user does not pin one: the usable CPU count."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+class Executor(ABC):
+    """Executes batches of independent client tasks.
+
+    Implementations must preserve submission order in the returned list and
+    propagate the first exception a task raises.  ``map`` may be called many
+    times (once per federated round); worker pools are reused across calls
+    and released by :meth:`shutdown`.
+    """
+
+    #: registry name of the implementation ("serial", "thread", "process")
+    name: str = "executor"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive when set")
+        self.max_workers = max_workers
+
+    @abstractmethod
+    def map(self, tasks: Sequence[Any]) -> list[Any]:
+        """Run every task and return their results in submission order."""
+
+    def shutdown(self) -> None:
+        """Release worker resources (idempotent; the executor may be reused)."""
+
+    @property
+    def effective_workers(self) -> int:
+        """The worker count actually used by pool-based executors."""
+        return self.max_workers if self.max_workers is not None else default_max_workers()
+
+    # -- context manager ----------------------------------------------------------------
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers!r})"

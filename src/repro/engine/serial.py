@@ -1,0 +1,27 @@
+"""In-process sequential execution — the reference all executors must match."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.engine.base import Executor, run_task
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Runs every task in the calling thread, one after another.
+
+    This is the default executor and the parity reference: thread and
+    process executors are required (and tested) to produce bit-identical
+    results to this one at a fixed seed.
+    """
+
+    name = "serial"
+
+    def map(self, tasks: Sequence[Any]) -> list[Any]:
+        return [run_task(task) for task in tasks]
+
+    @property
+    def effective_workers(self) -> int:
+        return 1

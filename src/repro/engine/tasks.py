@@ -1,0 +1,92 @@
+"""Picklable units of per-client work dispatched through an executor.
+
+A task bundles everything one client's local round needs — model slice,
+data, hyper-parameters and a private RNG stream — so it can run anywhere:
+inline (:class:`~repro.engine.serial.SerialExecutor`), on a thread, or
+pickled to a worker process.  Tasks are pure: they read only their own
+fields, mutate nothing shared, and derive all randomness from their
+``rng_stream``, which is what guarantees bit-identical results across
+executors and worker counts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.client import ClientRoundResult, SimulatedClient
+from repro.core.config import LocalTrainingConfig
+from repro.core.local_training import LocalTrainingResult, train_local_model
+from repro.core.model_pool import ModelPool, SubmodelConfig
+from repro.data.datasets import Dataset
+from repro.nn.models.spec import SlimmableArchitecture
+
+__all__ = ["ClientTask", "LocalRoundTask", "TrainSubmodelTask"]
+
+
+class ClientTask(ABC):
+    """One independent unit of client work executed by an :class:`Executor`."""
+
+    #: private randomness of this task (see :mod:`repro.engine.rng`)
+    rng_stream: np.random.SeedSequence
+
+    @abstractmethod
+    def run(self) -> Any:
+        """Execute the work and return its result (runs on any worker)."""
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator over the task's stream (same bits every call)."""
+        return np.random.default_rng(self.rng_stream)
+
+
+@dataclass
+class LocalRoundTask(ClientTask):
+    """AdaptiveFL's full client round: adapt (prune) then train (Algorithm 1).
+
+    The device-side resource adaptation runs inside the task, exactly as it
+    would on a real client; the server only planned the dispatch.
+    """
+
+    client: SimulatedClient
+    pool: ModelPool
+    dispatched: SubmodelConfig
+    dispatched_state: Mapping[str, np.ndarray]
+    available_capacity: float
+    # required on purpose: an OS-entropy default would silently break the
+    # engine's determinism guarantee
+    rng_stream: np.random.SeedSequence
+
+    def run(self) -> ClientRoundResult:
+        return self.client.local_round(
+            pool=self.pool,
+            dispatched=self.dispatched,
+            dispatched_state=self.dispatched_state,
+            available_capacity=self.available_capacity,
+            rng=self.rng(),
+        )
+
+
+@dataclass
+class TrainSubmodelTask(ClientTask):
+    """A baseline's client round: train a fixed submodel slice on local data."""
+
+    architecture: SlimmableArchitecture
+    group_sizes: Mapping[str, int]
+    initial_state: Mapping[str, np.ndarray]
+    dataset: Dataset
+    local_config: LocalTrainingConfig
+    rng_stream: np.random.SeedSequence
+    client_id: int = -1
+
+    def run(self) -> LocalTrainingResult:
+        return train_local_model(
+            architecture=self.architecture,
+            group_sizes=self.group_sizes,
+            initial_state=self.initial_state,
+            dataset=self.dataset,
+            config=self.local_config,
+            rng=self.rng(),
+        )

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig, ModelPoolConfig
 from repro.core.serialization import checked_payload
 from repro.data.datasets import Dataset, make_cifar10_like, make_cifar100_like, make_femnist_like, make_widar_like
+from repro.engine.factory import validate_executor_choice
 from repro.data.partition import ClientPartition, partition_dataset
 from repro.devices.profiles import DeviceProfile, build_device_profiles
 from repro.devices.resources import ResourceModel
@@ -56,6 +57,10 @@ class ExperimentSetting:
     scale: str = "ci"
     seed: int = 0
     resource_uncertainty: float = 0.1
+    #: client-execution engine: "serial", "thread" or "process" (bit-identical)
+    executor: str = "serial"
+    #: worker count for pool-based executors (None = the usable CPU count)
+    max_workers: int | None = None
     overrides: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -65,6 +70,7 @@ class ExperimentSetting:
             raise ValueError(f"unknown distribution {self.distribution!r}")
         if self.distribution == "dirichlet" and self.alpha is None:
             raise ValueError("dirichlet distribution requires alpha")
+        validate_executor_choice(self.executor, self.max_workers)
 
     def to_dict(self) -> dict:
         """JSON-friendly representation; round-trips through :meth:`from_dict`."""
@@ -204,6 +210,8 @@ def prepare_experiment(setting: ExperimentSetting) -> PreparedExperiment:
         clients_per_round=scale.clients_per_round,
         eval_every=scale.eval_every,
         seed=setting.seed,
+        executor=setting.executor,
+        max_workers=setting.max_workers,
     )
     local_config = LocalTrainingConfig(
         local_epochs=scale.local_epochs,

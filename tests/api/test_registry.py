@@ -12,13 +12,13 @@ from repro.api.registry import (
 from repro.baselines import ALGORITHMS
 from repro.baselines.heterofl import HETEROFL_POOL_CONFIG
 from repro.core.server import AdaptiveFL
-from repro.experiments import ALL_ALGORITHM_NAMES, ExperimentSetting, prepare_experiment, run_comparison
+from repro.experiments import ALL_ALGORITHM_NAMES, ExperimentSetting, run_comparison
 
 
 @pytest.fixture(scope="module")
-def prepared():
-    setting = ExperimentSetting(dataset="cifar10", model="simple_cnn", scale="ci")
-    return prepare_experiment(setting)
+def prepared(ci_prepared):
+    # the session-wide CI-scale snapshot from tests/conftest.py
+    return ci_prepared
 
 
 class TestCompleteness:

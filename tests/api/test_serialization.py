@@ -20,7 +20,8 @@ NON_DEFAULT_CONFIGS = [
         resource_reward_cap=0.7,
     ),
     ExperimentSetting(dataset="cifar100", model="simple_cnn", distribution="dirichlet", alpha=0.3,
-                      proportion="8:1:1", scale="ci", seed=3, overrides={"num_rounds": 2}),
+                      proportion="8:1:1", scale="ci", seed=3, executor="process", max_workers=4,
+                      overrides={"num_rounds": 2}),
 ]
 
 

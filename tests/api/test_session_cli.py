@@ -8,15 +8,13 @@ from repro.api.callbacks import Callback
 from repro.api.cli import main
 from repro.api.session import ExperimentSession
 from repro.api.spec import ExperimentSpec
-from repro.experiments import ExperimentSetting, run_algorithm, run_comparison, prepare_experiment
+from repro.experiments import run_algorithm, run_comparison, prepare_experiment
 
-CI_SETTING = ExperimentSetting(
-    dataset="cifar10", model="simple_cnn", scale="ci", overrides={"num_rounds": 2, "eval_every": 2}
-)
+# the CI-scale setting/prepared snapshot come session-scoped from tests/conftest.py
 
 
 class TestSession:
-    def test_prepares_exactly_once(self, monkeypatch):
+    def test_prepares_exactly_once(self, monkeypatch, ci_setting):
         calls = []
         real = prepare_experiment
 
@@ -25,59 +23,59 @@ class TestSession:
             return real(setting)
 
         monkeypatch.setattr("repro.api.session.prepare_experiment", counting)
-        session = ExperimentSession(CI_SETTING)
+        session = ExperimentSession(ci_setting)
         session.run("heterofl")
         session.run("scalefl")
         session.compare(["all_large"])
         assert len(calls) == 1
         assert set(session.results) == {"heterofl", "scalefl", "all_large"}
 
-    def test_comparison_is_paired_with_functional_runner(self):
+    def test_comparison_is_paired_with_functional_runner(self, ci_setting, ci_prepared):
         """Session reuse must give the same numbers as a fresh prepared run."""
-        session = ExperimentSession(CI_SETTING)
+        session = ExperimentSession(ci_setting)
         session.run("adaptivefl")
-        fresh = run_algorithm("adaptivefl", prepare_experiment(CI_SETTING))
+        fresh = run_algorithm("adaptivefl", ci_prepared)
         assert session.results["adaptivefl"].full_accuracy == pytest.approx(fresh.full_accuracy)
 
-    def test_run_comparison_matches_individual_runs(self):
-        results = run_comparison(CI_SETTING, ("heterofl", "adaptivefl"))
-        single = run_algorithm("heterofl", prepare_experiment(CI_SETTING))
+    def test_run_comparison_matches_individual_runs(self, ci_setting, ci_prepared):
+        results = run_comparison(ci_setting, ("heterofl", "adaptivefl"))
+        single = run_algorithm("heterofl", ci_prepared)
         assert results["heterofl"].full_accuracy == pytest.approx(single.full_accuracy)
 
-    def test_callback_factories_fresh_per_run(self):
+    def test_callback_factories_fresh_per_run(self, ci_setting):
         created = []
 
         class Tagged(Callback):
             def __init__(self):
                 created.append(self)
 
-        session = ExperimentSession(CI_SETTING).with_callback(Tagged)
+        session = ExperimentSession(ci_setting).with_callback(Tagged)
         session.run("heterofl")
         session.run("scalefl")
         assert len(created) == 2
 
-    def test_strategy_labelling(self):
-        session = ExperimentSession(CI_SETTING)
+    def test_strategy_labelling(self, ci_setting):
+        session = ExperimentSession(ci_setting)
         result = session.run("adaptivefl", selection_strategy="random")
         assert result.algorithm == "adaptivefl+random"
         assert "adaptivefl+random" in session.results
 
-    def test_unknown_algorithm_fails_before_preparation(self):
-        session = ExperimentSession(CI_SETTING)
+    def test_unknown_algorithm_fails_before_preparation(self, ci_setting):
+        session = ExperimentSession(ci_setting)
         with pytest.raises(KeyError, match="registered"):
             session.run("fedprox")
         assert session._prepared is None  # nothing was materialised
 
-    def test_from_spec_and_run_spec(self, tmp_path):
-        spec = ExperimentSpec(setting=CI_SETTING, algorithms=("heterofl",), num_rounds=1)
+    def test_from_spec_and_run_spec(self, tmp_path, ci_setting):
+        spec = ExperimentSpec(setting=ci_setting, algorithms=("heterofl",), num_rounds=1)
         path = spec.save(tmp_path / "spec.json")
         session = ExperimentSession.from_spec(path)
         results = session.run_spec()
         assert set(results) == {"heterofl"}
         assert len(results["heterofl"].history) == 1
 
-    def test_save_results(self, tmp_path):
-        session = ExperimentSession(CI_SETTING)
+    def test_save_results(self, tmp_path, ci_setting):
+        session = ExperimentSession(ci_setting)
         session.run("heterofl")
         written = session.save_results(tmp_path)
         names = {path.name for path in written}
@@ -88,6 +86,36 @@ class TestSession:
         history = json.loads((tmp_path / "heterofl_history.json").read_text())
         assert history["algorithm"] == "heterofl"
         assert len(history["rounds"]) == 2
+
+
+class TestExecutorSelection:
+    def test_with_executor_bakes_into_prepared(self, ci_setting):
+        session = ExperimentSession(ci_setting).with_executor("thread", max_workers=2)
+        assert session.prepared.federated_config.executor == "thread"
+        assert session.prepared.federated_config.max_workers == 2
+
+    def test_with_executor_after_preparation_rejected(self, ci_setting):
+        session = ExperimentSession(ci_setting)
+        session.prepared  # materialise
+        with pytest.raises(RuntimeError, match="before"):
+            session.with_executor("thread")
+
+    def test_with_executor_keeps_attached_spec_consistent(self, ci_setting):
+        spec = ExperimentSpec(setting=ci_setting, algorithms=("heterofl",), num_rounds=1)
+        session = ExperimentSession.from_spec(spec).with_executor("thread", max_workers=2)
+        assert session.spec.setting.executor == "thread"
+
+    def test_cli_executor_flag_recorded_in_spec(self, tmp_path):
+        rc = main(
+            [
+                "run", "--algorithm", "heterofl", "--scale", "ci", "--rounds", "1",
+                "--executor", "thread", "--max-workers", "2", "--quiet", "--output-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        spec = ExperimentSpec.load(tmp_path / "spec.json")
+        assert spec.setting.executor == "thread"
+        assert spec.setting.max_workers == 2
 
 
 class TestCli:
@@ -108,8 +136,8 @@ class TestCli:
         assert spec.algorithms == ("adaptivefl",)
         assert "adaptivefl" in capsys.readouterr().out
 
-    def test_compare_from_spec_file(self, tmp_path, capsys):
-        spec = ExperimentSpec(setting=CI_SETTING, algorithms=("heterofl", "scalefl"), num_rounds=1)
+    def test_compare_from_spec_file(self, tmp_path, capsys, ci_setting):
+        spec = ExperimentSpec(setting=ci_setting, algorithms=("heterofl", "scalefl"), num_rounds=1)
         spec_path = spec.save(tmp_path / "spec.json")
         out_dir = tmp_path / "out"
         rc = main(["compare", "--spec", str(spec_path), "--quiet", "--output-dir", str(out_dir)])
@@ -129,17 +157,17 @@ class TestCli:
         assert len(lines) == 2
         assert json.loads(lines[0])["algorithm"] == "heterofl"
 
-    def test_spec_conflicts_with_explicit_flags(self, tmp_path, capsys):
-        spec_path = ExperimentSpec(setting=CI_SETTING, algorithms=("adaptivefl",)).save(tmp_path / "spec.json")
+    def test_spec_conflicts_with_explicit_flags(self, tmp_path, capsys, ci_setting):
+        spec_path = ExperimentSpec(setting=ci_setting, algorithms=("adaptivefl",)).save(tmp_path / "spec.json")
         rc = main(["run", "--spec", str(spec_path), "--algorithm", "heterofl"])
         assert rc == 2
         assert "cannot be combined with --spec" in capsys.readouterr().err
 
-    def test_run_and_compare_accept_the_same_spec_with_strategy(self, tmp_path):
+    def test_run_and_compare_accept_the_same_spec_with_strategy(self, tmp_path, ci_setting):
         # a spec whose strategy only applies to adaptivefl must be runnable
         # by BOTH subcommands, even with baselines in the algorithm list
         spec = ExperimentSpec(
-            setting=CI_SETTING, algorithms=("heterofl", "adaptivefl"),
+            setting=ci_setting, algorithms=("heterofl", "adaptivefl"),
             selection_strategy="random", num_rounds=1,
         )
         spec_path = spec.save(tmp_path / "spec.json")

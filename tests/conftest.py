@@ -16,6 +16,7 @@ from repro.data.datasets import SyntheticTaskConfig, synthesize_classification_t
 from repro.data.partition import iid_partition
 from repro.devices.profiles import build_device_profiles
 from repro.devices.resources import ResourceModel
+from repro.experiments.settings import ExperimentSetting, prepare_experiment
 from repro.nn.models import SlimmableResNet18, SlimmableSimpleCNN, SlimmableVGG
 
 
@@ -98,3 +99,46 @@ def fast_configs(tiny_pool_config):
     local = LocalTrainingConfig(local_epochs=1, batch_size=16, max_batches_per_epoch=3)
     adaptive = AdaptiveFLConfig(federated=federated, local=local, pool=tiny_pool_config)
     return {"federated": federated, "local": local, "adaptive": adaptive, "pool": tiny_pool_config}
+
+
+@pytest.fixture(scope="session")
+def ci_setting() -> ExperimentSetting:
+    """The CI-scale experiment setting shared by the api/engine test suites."""
+    return ExperimentSetting(
+        dataset="cifar10", model="simple_cnn", scale="ci", overrides={"num_rounds": 2, "eval_every": 2}
+    )
+
+
+@pytest.fixture(scope="session")
+def ci_prepared(ci_setting):
+    """The ``ci_setting`` experiment prepared once for the whole test session.
+
+    Prepared experiments are read-only by construction (each algorithm run
+    builds its own clients, pool and global state), so sharing the snapshot
+    across test modules is safe and skips repeated dataset synthesis.
+    """
+    return prepare_experiment(ci_setting)
+
+
+@pytest.fixture(scope="session")
+def easy_setup():
+    """An easy 4-class task + federation that a tiny CNN learns in a few rounds.
+
+    Used by the integration and engine suites; session-scoped because the
+    synthesis is the expensive part and every consumer treats it read-only.
+    """
+    arch = SlimmableSimpleCNN(num_classes=4, input_shape=(1, 8, 8), width_multiplier=0.5, hidden_features=32)
+    config = SyntheticTaskConfig(
+        num_classes=4, input_shape=(1, 8, 8), train_samples=600, test_samples=240,
+        clusters_per_class=1, noise_std=0.35, label_noise=0.0, seed=21,
+    )
+    train, test = synthesize_classification_task(config)
+    setup_rng = np.random.default_rng(5)
+    partition = iid_partition(train, 8, setup_rng)
+    profiles = build_device_profiles(8, "4:3:3", setup_rng)
+    resource_model = ResourceModel(profiles, arch.parameter_count(), uncertainty=0.1, seed=5)
+    pool_config = ModelPoolConfig(models_per_level=3, start_layers=(2, 2, 1), min_start_layer=1)
+    return {
+        "arch": arch, "train": train, "test": test, "partition": partition,
+        "profiles": profiles, "resource_model": resource_model, "pool": pool_config,
+    }

@@ -1,0 +1,102 @@
+"""Property-style tests of Algorithm 2's heterogeneous aggregation.
+
+Two structural properties pinned with hypothesis:
+
+* **FedAvg reduction** — when every upload covers the full tensor shapes,
+  heterogeneous aggregation *is* classic FedAvg (same weighted mean).
+* **Coverage boundary** (Algorithm 2, line 14) — elements covered by no
+  upload keep their previous global value exactly; covered elements never
+  depend on the old value.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous, fedavg_aggregate
+
+SHAPES = ((4,), (3, 5), (2, 3, 2))
+
+
+def _states(rng: np.random.Generator, prefixes: list[float]) -> list[dict[str, np.ndarray]]:
+    """One state dict per client; ``prefixes[i]`` scales every tensor extent."""
+    states = []
+    for fraction in prefixes:
+        state = {}
+        for axis_count, shape in enumerate(SHAPES):
+            cut = tuple(max(1, int(np.ceil(extent * fraction))) for extent in shape)
+            state[f"w{axis_count}"] = rng.normal(size=cut)
+        states.append(state)
+    return states
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    weights=st.lists(st.integers(1, 100), min_size=1, max_size=5),
+    seed=st.integers(0, 2**16),
+)
+def test_full_shape_uploads_reduce_to_fedavg(weights, seed):
+    """Full-coverage heterogeneous aggregation == fedavg_aggregate."""
+    rng = np.random.default_rng(seed)
+    global_state = {f"w{i}": rng.normal(size=shape) for i, shape in enumerate(SHAPES)}
+    states = _states(rng, [1.0] * len(weights))
+    updates = [ClientUpdate(state, samples) for state, samples in zip(states, weights)]
+
+    heterogeneous = aggregate_heterogeneous(global_state, updates)
+    fedavg = fedavg_aggregate(updates)
+
+    assert set(heterogeneous) == set(fedavg)
+    for name in fedavg:
+        np.testing.assert_allclose(heterogeneous[name], fedavg[name], rtol=0, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    prefixes=st.lists(st.sampled_from([0.25, 0.5, 0.75, 1.0]), min_size=1, max_size=5),
+    weights=st.lists(st.integers(1, 100), min_size=5, max_size=5),
+    seed=st.integers(0, 2**16),
+)
+def test_uncovered_elements_keep_previous_values(prefixes, weights, seed):
+    """Algorithm 2, line 14: the coverage mask splits the output exactly."""
+    rng = np.random.default_rng(seed)
+    global_state = {f"w{i}": rng.normal(size=shape) for i, shape in enumerate(SHAPES)}
+    states = _states(rng, prefixes)
+    updates = [ClientUpdate(state, samples) for state, samples in zip(states, weights)]
+
+    merged = aggregate_heterogeneous(global_state, updates)
+
+    for name, old_value in global_state.items():
+        weight_sum = np.zeros_like(old_value)
+        accumulator = np.zeros_like(old_value)
+        for update in updates:
+            tensor = update.state[name]
+            region = tuple(slice(0, extent) for extent in tensor.shape)
+            weight_sum[region] += update.num_samples
+            accumulator[region] += update.num_samples * tensor
+        uncovered = weight_sum == 0
+        # uncovered elements: *exactly* the old bits survive
+        assert np.array_equal(merged[name][uncovered], old_value[uncovered])
+        # covered elements: the weighted mean of contributors, old value ignored
+        np.testing.assert_allclose(
+            merged[name][~uncovered],
+            accumulator[~uncovered] / weight_sum[~uncovered],
+            rtol=0,
+            atol=1e-12,
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16), samples=st.integers(1, 1000))
+def test_covered_region_is_independent_of_old_global_values(seed, samples):
+    """Replacing the old global state must not move any covered element."""
+    rng = np.random.default_rng(seed)
+    update_state = {f"w{i}": rng.normal(size=shape) for i, shape in enumerate(SHAPES)}
+    updates = [ClientUpdate(update_state, samples)]
+    merged_a = aggregate_heterogeneous(
+        {f"w{i}": np.zeros(shape) for i, shape in enumerate(SHAPES)}, updates
+    )
+    merged_b = aggregate_heterogeneous(
+        {f"w{i}": rng.normal(size=shape) * 100 for i, shape in enumerate(SHAPES)}, updates
+    )
+    for name in update_state:
+        assert np.array_equal(merged_a[name], merged_b[name])

@@ -9,35 +9,15 @@ easy task.
 import numpy as np
 import pytest
 
-from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig, ModelPoolConfig
+from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig
 from repro.core.server import AdaptiveFL
 from repro.baselines import HeteroFL
-from repro.data.datasets import SyntheticTaskConfig, synthesize_classification_task
 from repro.data.partition import iid_partition
-from repro.devices.profiles import build_device_profiles
 from repro.devices.resources import ResourceModel
 from repro.devices.testbed import TestbedSimulator
-from repro.nn.models import SlimmableSimpleCNN
 
-
-@pytest.fixture(scope="module")
-def easy_setup():
-    """An easy 4-class task + federation that a tiny CNN learns in a few rounds."""
-    arch = SlimmableSimpleCNN(num_classes=4, input_shape=(1, 8, 8), width_multiplier=0.5, hidden_features=32)
-    config = SyntheticTaskConfig(
-        num_classes=4, input_shape=(1, 8, 8), train_samples=600, test_samples=240,
-        clusters_per_class=1, noise_std=0.35, label_noise=0.0, seed=21,
-    )
-    train, test = synthesize_classification_task(config)
-    rng = np.random.default_rng(5)
-    partition = iid_partition(train, 8, rng)
-    profiles = build_device_profiles(8, "4:3:3", rng)
-    resource_model = ResourceModel(profiles, arch.parameter_count(), uncertainty=0.1, seed=5)
-    pool_config = ModelPoolConfig(models_per_level=3, start_layers=(2, 2, 1), min_start_layer=1)
-    return {
-        "arch": arch, "train": train, "test": test, "partition": partition,
-        "profiles": profiles, "resource_model": resource_model, "pool": pool_config,
-    }
+# ``easy_setup`` comes session-scoped from tests/conftest.py and is shared
+# with the engine parity suite.
 
 
 def make_configs(pool_config, rounds=8):
