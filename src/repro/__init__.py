@@ -21,6 +21,9 @@ Package layout:
   the simulated real test-bed.
 * ``repro.engine`` — the parallel client-execution engine: serial, thread
   and process executors with bit-identical, seed-stable results.
+* ``repro.sim`` — the discrete-event AIoT fleet simulator: scenario
+  registry (``@register_scenario``), availability/dropout/battery/network
+  dynamics and deadline-aware aggregation accounting.
 * ``repro.core`` — the paper's contribution: fine-grained width-wise
   pruning, RL-based client selection, heterogeneous aggregation and the
   AdaptiveFL training loop.
@@ -60,6 +63,12 @@ _EXPORTS: dict[str, str] = {
     "EarlyStopping": "repro.api.callbacks",
     "WallClockBudget": "repro.api.callbacks",
     "JsonHistoryStreamer": "repro.api.callbacks",
+    # fleet simulation
+    "ScenarioSpec": "repro.sim.scenario",
+    "register_scenario": "repro.sim.scenario",
+    "get_scenario": "repro.sim.scenario",
+    "available_scenarios": "repro.sim.scenario",
+    "FleetSimulator": "repro.sim.fleet",
     # execution engine
     "Executor": "repro.engine.base",
     "SerialExecutor": "repro.engine.serial",

@@ -59,6 +59,13 @@ _EXPORTS: dict[str, str] = {
     "AdaptiveFLConfig": "repro.core.config",
     "TrainingHistory": "repro.core.history",
     "RoundRecord": "repro.core.history",
+    # fleet simulation (repro.sim)
+    "ScenarioSpec": "repro.sim.scenario",
+    "register_scenario": "repro.sim.scenario",
+    "unregister_scenario": "repro.sim.scenario",
+    "get_scenario": "repro.sim.scenario",
+    "available_scenarios": "repro.sim.scenario",
+    "FleetSimulator": "repro.sim.fleet",
 }
 
 __all__ = sorted(_EXPORTS)

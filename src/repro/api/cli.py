@@ -15,6 +15,12 @@ Three subcommands drive the whole experiment layer from a shell:
 
 * ``repro algorithms`` — list the registry with declared capabilities.
 
+* ``repro scenarios`` — list the fleet-scenario registry (``--names``
+  prints bare names for scripting); ``run``/``compare`` accept
+  ``--scenario`` to condition training on one::
+
+      python -m repro run --algorithm adaptivefl --scenario flaky_edge
+
 Both ``run`` and ``compare`` write one ``<algorithm>_history.json`` per
 run plus ``summary.json`` (and echo the resolved ``spec.json``) into
 ``--output-dir``, and stream progress unless ``--quiet``.
@@ -68,6 +74,11 @@ def _add_setting_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker count for thread/process executors (default: usable CPUs)",
     )
+    group.add_argument(
+        "--scenario",
+        default=None,
+        help="fleet scenario driving system dynamics (see `repro scenarios`)",
+    )
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -104,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     algorithms = subparsers.add_parser("algorithms", help="list the algorithm registry")
     algorithms.set_defaults(handler=_cmd_algorithms)
 
+    scenarios = subparsers.add_parser("scenarios", help="list the fleet-scenario registry")
+    scenarios.add_argument("--names", action="store_true", help="print bare names only (scripting)")
+    scenarios.set_defaults(handler=_cmd_scenarios)
+
     return parser
 
 
@@ -121,6 +136,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         seed=args.seed,
         executor=args.executor,
         max_workers=args.max_workers,
+        scenario=args.scenario,
     )
 
 
@@ -225,6 +241,47 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     session, spec = _session_from_args(args)
     session.run_spec()
     return _finish(session, spec, args)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.sim.scenario import available_scenarios, get_scenario
+
+    names = available_scenarios()
+    if args.names:
+        for name in names:
+            print(name)
+        return 0
+    rows = []
+    for name in names:
+        spec = get_scenario(name)
+        dynamics = []
+        if spec.availability.kind != "always":
+            dynamics.append(spec.availability.kind)
+        if spec.dropout_rate > 0:
+            dynamics.append(f"dropout {spec.dropout_rate:.0%}")
+        if spec.network.server_concurrency is not None:
+            dynamics.append(f"{spec.network.server_concurrency} transfer slots")
+        if spec.battery is not None:
+            dynamics.append("battery")
+        if spec.has_deadline:
+            deadline = (
+                f"{spec.deadline_seconds:g}s"
+                if spec.deadline_seconds is not None
+                else f"{spec.deadline_factor:g}x median"
+            )
+            dynamics.append(f"deadline {deadline}")
+        if spec.over_selection:
+            dynamics.append(f"+{spec.over_selection} over-selection")
+        rows.append(
+            [
+                name,
+                str(len(spec.devices)),
+                ", ".join(dynamics) if dynamics else "static",
+                spec.description,
+            ]
+        )
+    print(format_table(["scenario", "device types", "dynamics", "description"], rows))
+    return 0
 
 
 def _cmd_algorithms(args: argparse.Namespace) -> int:

@@ -63,11 +63,14 @@ class AlgorithmSpec:
         *,
         selection_strategy: str | None = None,
         testbed: "TestbedSimulator | None" = None,
+        scenario: "str | None" = None,
     ) -> "FederatedAlgorithm":
         """Instantiate the algorithm on a prepared experiment.
 
         Only the configs the spec declares are passed to the factory, so
         registration — not the caller — decides the construction shape.
+        ``scenario`` overrides the prepared federated config's scenario for
+        this one run (the common path is the config itself).
         """
         if selection_strategy is not None and not self.uses_selection_strategy:
             raise ValueError(
@@ -77,6 +80,8 @@ class AlgorithmSpec:
         kwargs = prepared.algorithm_kwargs()
         if testbed is not None:
             kwargs["testbed"] = testbed
+        if scenario is not None:
+            kwargs["scenario"] = scenario
         if self.uses_pool_config:
             kwargs["pool_config"] = prepared.pool_config
         if self.uses_algorithm_config:

@@ -80,6 +80,25 @@ class ExperimentSession:
             self.spec = replace(self.spec, setting=self.setting)
         return self
 
+    # -- fleet scenario ---------------------------------------------------------------
+    def with_scenario(self, scenario: str | None) -> "ExperimentSession":
+        """Condition every run of this session on a registered fleet scenario.
+
+        ``scenario`` is a :mod:`repro.sim` scenario name (``repro
+        scenarios`` lists them) or ``None`` to turn simulation off.  Must
+        be called before the first run: the scenario's device mix defines
+        the prepared experiment's capacity profiles, and every algorithm
+        run builds its own stateful fleet from it (batteries and
+        availability churn never leak across runs, keeping comparisons
+        paired).
+        """
+        if self._prepared is not None:
+            raise RuntimeError("with_scenario must be called before the experiment is prepared")
+        self.setting = replace(self.setting, scenario=scenario)
+        if self.spec is not None:
+            self.spec = replace(self.spec, setting=self.setting)
+        return self
+
     # -- callbacks --------------------------------------------------------------------
     def with_callback(self, callback: Callback | Callable[[], Callback]) -> "ExperimentSession":
         """Attach a callback instance or a zero-arg factory (builder style).

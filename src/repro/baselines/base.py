@@ -11,11 +11,24 @@ __all__ = ["RandomSelectionMixin", "capacity_level_assignment"]
 
 
 class RandomSelectionMixin:
-    """Uniform client sampling without replacement (used by every baseline)."""
+    """Uniform client sampling without replacement (used by every baseline).
 
-    def sample_clients(self: FederatedAlgorithm, rng: np.random.Generator) -> list[int]:
-        count = min(self.federated_config.clients_per_round, self.num_clients)
-        return [int(c) for c in rng.choice(self.num_clients, size=count, replace=False)]
+    Under a fleet scenario the draw is restricted to the clients that are
+    reachable this round and widened by the scenario's over-selection
+    margin; without one (or when every client is reachable and no margin
+    applies) the draw is bit-identical to the historical implementation.
+    """
+
+    def sample_clients(self: FederatedAlgorithm, rng: np.random.Generator, round_index: int) -> list[int]:
+        candidates = self.selectable_clients(round_index)
+        if candidates is None:
+            count = min(self.federated_config.clients_per_round, self.num_clients)
+            return [int(c) for c in rng.choice(self.num_clients, size=count, replace=False)]
+        count = min(self.dispatch_count(), len(candidates))
+        if len(candidates) == self.num_clients:
+            return [int(c) for c in rng.choice(self.num_clients, size=count, replace=False)]
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        return [int(candidates[index]) for index in chosen]
 
 
 def capacity_level_assignment(

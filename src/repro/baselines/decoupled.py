@@ -44,7 +44,7 @@ class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
 
     def run_round(self, round_index: int) -> RoundRecord:
         rng = self.round_rng(round_index)
-        selected = self.sample_clients(rng)
+        selected = self.sample_clients(rng, round_index)
 
         assignments = []
         levels: list[str] = []
@@ -56,11 +56,13 @@ class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
             levels.append(level)
             dispatched.append(config.name)
 
-        results = self.run_local_training(round_index, assignments)
+        outcome = self.plan_round_outcome(round_index, selected, dispatched, dispatched)
+        keep = list(outcome.aggregated_positions()) if outcome is not None else list(range(len(selected)))
+        results = self.run_local_training(round_index, [assignments[i] for i in keep])
         per_level_updates: dict[str, list[ClientUpdate]] = {level: [] for level in self.level_states}
         losses: list[float] = []
-        for level, result in zip(levels, results):
-            per_level_updates[level].append(ClientUpdate(result.state, result.num_samples))
+        for i, result in zip(keep, results):
+            per_level_updates[levels[i]].append(ClientUpdate(result.state, result.num_samples))
             losses.append(result.mean_loss)
 
         for level, updates in per_level_updates.items():
@@ -69,17 +71,19 @@ class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
         # The "full" model of Decoupled is its L-level model.
         self.global_state = dict(self.level_states["L"])
 
-        sizes = [self.level_heads[self.client_level[c]].num_params for c in selected]
+        # dropped/late dispatches return nothing and count as pure waste
+        aggregated = set(keep)
+        sent = [self.level_heads[self.client_level[c]].num_params for c in selected]
+        back = [size if i in aggregated else 0 for i, size in enumerate(sent)]
         record = RoundRecord(
             round_index=round_index,
             train_loss=float(np.mean(losses)) if losses else None,
-            communication_waste=communication_waste_rate(sizes, sizes) if sizes else None,
+            communication_waste=communication_waste_rate(sent, back) if sent else None,
             dispatched=dispatched,
             returned=list(dispatched),
             selected_clients=selected,
         )
-        record.wall_clock_seconds = self.simulate_round_time(round_index, selected, dispatched, dispatched)
-        return record
+        return self.finalize_round(record, outcome)
 
     def evaluate(self) -> tuple[float, dict[str, float]]:
         """Full = the L-level model; per-level heads use their own decoupled states."""

@@ -32,26 +32,37 @@ class AllLargeFedAvg(RandomSelectionMixin, FederatedAlgorithm):
 
     def run_round(self, round_index: int) -> RoundRecord:
         rng = self.round_rng(round_index)
-        selected = self.sample_clients(rng)
+        selected = self.sample_clients(rng, round_index)
         full_sizes = self.architecture.full_group_sizes()
         full_params = self.pool.full_config.num_params
+        dispatched = ["L1"] * len(selected)
 
+        outcome = self.plan_round_outcome(round_index, selected, dispatched, dispatched)
+        keep = outcome.aggregated_positions() if outcome is not None else range(len(selected))
+        aggregated = set(keep)
         results = self.run_local_training(
             round_index,
-            [(client_id, full_sizes, self.global_state) for client_id in selected],
+            [(selected[i], full_sizes, self.global_state) for i in keep],
         )
         updates = [ClientUpdate(result.state, result.num_samples) for result in results]
         losses = [result.mean_loss for result in results]
 
-        self.global_state = aggregate_heterogeneous(self.global_state, updates)
-        dispatched = ["L1"] * len(selected)
+        if updates:
+            self.global_state = aggregate_heterogeneous(self.global_state, updates)
         record = RoundRecord(
             round_index=round_index,
             train_loss=float(np.mean(losses)) if losses else None,
-            communication_waste=communication_waste_rate([full_params] * len(selected), [full_params] * len(selected)),
+            # dropped/late dispatches return nothing and count as pure waste
+            communication_waste=(
+                communication_waste_rate(
+                    [full_params] * len(selected),
+                    [full_params if i in aggregated else 0 for i in range(len(selected))],
+                )
+                if selected
+                else None
+            ),
             dispatched=dispatched,
             returned=list(dispatched),
             selected_clients=selected,
         )
-        record.wall_clock_seconds = self.simulate_round_time(round_index, selected, dispatched, dispatched)
-        return record
+        return self.finalize_round(record, outcome)

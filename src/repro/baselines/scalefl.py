@@ -131,7 +131,7 @@ class ScaleFL(RandomSelectionMixin, FederatedAlgorithm):
 
     def run_round(self, round_index: int) -> RoundRecord:
         rng = self.round_rng(round_index)
-        selected = self.sample_clients(rng)
+        selected = self.sample_clients(rng, round_index)
 
         assignments = []
         dispatched: list[str] = []
@@ -142,19 +142,24 @@ class ScaleFL(RandomSelectionMixin, FederatedAlgorithm):
             assignments.append((client_id, sizes, initial_state))
             dispatched.append(f"{level}1")
 
-        results = self.run_local_training(round_index, assignments)
+        outcome = self.plan_round_outcome(round_index, selected, dispatched, dispatched)
+        keep = outcome.aggregated_positions() if outcome is not None else range(len(selected))
+        results = self.run_local_training(round_index, [assignments[i] for i in keep])
         updates = [ClientUpdate(result.state, result.num_samples) for result in results]
         losses = [result.mean_loss for result in results]
 
-        self.global_state = aggregate_heterogeneous(self.global_state, updates)
-        sizes_sent = [self.level_params[self.client_level[c]] for c in selected]
+        if updates:
+            self.global_state = aggregate_heterogeneous(self.global_state, updates)
+        # dropped/late dispatches return nothing and count as pure waste
+        aggregated = set(keep)
+        sent = [self.level_params[self.client_level[c]] for c in selected]
+        back = [size if i in aggregated else 0 for i, size in enumerate(sent)]
         record = RoundRecord(
             round_index=round_index,
             train_loss=float(np.mean(losses)) if losses else None,
-            communication_waste=communication_waste_rate(sizes_sent, sizes_sent) if sizes_sent else None,
+            communication_waste=communication_waste_rate(sent, back) if sent else None,
             dispatched=dispatched,
             returned=list(dispatched),
             selected_clients=selected,
         )
-        record.wall_clock_seconds = self.simulate_round_time(round_index, selected, dispatched, dispatched)
-        return record
+        return self.finalize_round(record, outcome)

@@ -67,6 +67,9 @@ class FederatedConfig:
     executor: str = "serial"
     #: worker count for pool-based executors (None = the usable CPU count)
     max_workers: int | None = None
+    #: registered fleet scenario driving system dynamics (None = no simulation);
+    #: see :mod:`repro.sim` — "paper_testbed" reproduces the legacy test-bed clock
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
@@ -76,6 +79,13 @@ class FederatedConfig:
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
         validate_executor_choice(self.executor, self.max_workers)
+        if self.scenario is not None:
+            # imported inside the method: repro.sim.scenario imports
+            # repro.core.serialization, so a module-level import here would
+            # be circular through the repro.core package init
+            from repro.sim.scenario import validate_scenario_choice
+
+            validate_scenario_choice(self.scenario)
 
     def to_dict(self) -> dict:
         return asdict(self)

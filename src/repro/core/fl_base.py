@@ -10,7 +10,15 @@ subclasses implement :meth:`run_round` and dispatch their per-client work
 through :meth:`run_local_training` / :meth:`execute_client_tasks`, which
 fan out across the configured :class:`~repro.engine.base.Executor`
 (``federated_config.executor``) with bit-identical results for every
-executor choice.  :meth:`run` drives the
+executor choice.  When a :mod:`repro.sim` scenario is active
+(``federated_config.scenario`` or the ``scenario=`` argument), rounds are
+conditioned on the fleet's simulated dynamics: :meth:`dispatch_count`
+adds the scenario's over-selection margin, :meth:`selectable_clients`
+restricts selection to reachable devices, :meth:`plan_round_outcome`
+simulates arrivals/dropouts/deadlines before training fans out, and
+:meth:`finalize_round` — the single shared hook every ``run_round``
+returns through — records wall-clock, arrivals, drops and bytes on the
+:class:`~repro.core.history.RoundRecord`.  :meth:`run` drives the
 :class:`repro.api.callbacks.Callback` hook protocol (round start/end,
 evaluation, fit end) and honours :meth:`request_stop` for early stopping.
 """
@@ -18,7 +26,7 @@ evaluation, fit end) and honours :meth:`request_stop` for early stopping.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -41,6 +49,13 @@ from repro.devices.testbed import TestbedSimulator
 from repro.nn.models.spec import SlimmableArchitecture
 from repro.nn.profiling import count_flops
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # imported lazily at runtime: repro.sim.scenario pulls in
+    # repro.core.serialization, so a module-level import here would make
+    # `import repro.sim` (before repro.core is initialised) circular
+    from repro.sim.fleet import FleetSimulator, RoundOutcome
+    from repro.sim.scenario import ScenarioSpec
+
 __all__ = ["FederatedAlgorithm"]
 
 
@@ -62,6 +77,7 @@ class FederatedAlgorithm(ABC):
         pool_config: ModelPoolConfig | None = None,
         resource_model: ResourceModel | None = None,
         testbed: TestbedSimulator | None = None,
+        scenario: "ScenarioSpec | str | None" = None,
         seed: int = 0,
     ):
         if partition.num_clients != len(profiles):
@@ -82,6 +98,28 @@ class FederatedAlgorithm(ABC):
         self.testbed = testbed
         self.seed = seed
         self.rng = np.random.default_rng(seed)
+
+        # -- fleet simulation (repro.sim): an explicit `scenario=` argument wins,
+        # otherwise the federated config's scenario name applies; each algorithm
+        # owns its fleet because fleets are stateful (batteries, availability)
+        from repro.sim.fleet import FleetSimulator
+        from repro.sim.scenario import get_scenario
+
+        if scenario is None:
+            scenario = federated_config.scenario
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        if scenario is not None and testbed is not None:
+            raise ValueError(
+                "pass either a legacy testbed or a scenario, not both; the "
+                "'paper_testbed' scenario reproduces the testbed numbers exactly"
+            )
+        self.scenario: "ScenarioSpec | None" = scenario
+        self.fleet: "FleetSimulator | None" = (
+            FleetSimulator(scenario, num_clients=partition.num_clients, seed=seed)
+            if scenario is not None
+            else None
+        )
 
         self.clients = [
             SimulatedClient(
@@ -240,6 +278,79 @@ class FederatedAlgorithm(ABC):
                 )
             )
         return self.testbed.round_time(times)
+
+    # -- fleet simulation (scenario-conditioned rounds) -----------------------------------
+    def dispatch_count(self) -> int:
+        """How many clients the server dispatches to this round.
+
+        ``clients_per_round`` plus the scenario's over-selection margin
+        (extra dispatches whose updates hedge against dropouts and
+        deadline misses), capped at the fleet size.
+        """
+        base = min(self.federated_config.clients_per_round, self.num_clients)
+        if self.fleet is None:
+            return base
+        return min(base + self.fleet.spec.over_selection, self.num_clients)
+
+    def selectable_clients(self, round_index: int) -> list[int] | None:
+        """Clients reachable at the start of the round (None = everyone)."""
+        if self.fleet is None:
+            return None
+        return self.fleet.available_clients(round_index)
+
+    def plan_round_outcome(
+        self,
+        round_index: int,
+        selected_clients: Sequence[int],
+        dispatched_names: Sequence[str],
+        returned_names: Sequence[str],
+    ) -> "RoundOutcome | None":
+        """Simulate the round's system dynamics before any training runs.
+
+        Because every duration, dropout and arrival is a pure function of
+        ``(seed, round, client)``, the fate of each dispatched client is
+        known *before* local training executes — so training fans out only
+        for the updates that will actually join aggregation, and results
+        are bit-identical across executors.
+        """
+        if self.fleet is None:
+            return None
+        from repro.sim.fleet import ClientDispatch
+
+        dispatches = [
+            ClientDispatch(
+                client_id=client_id,
+                params_down=self.pool.by_name(sent_name).num_params,
+                params_up=self.pool.by_name(back_name).num_params,
+                flops_per_sample=self.submodel_flops(back_name),
+                num_samples=self.clients[client_id].num_samples,
+                local_epochs=self.local_config.local_epochs,
+            )
+            for client_id, sent_name, back_name in zip(selected_clients, dispatched_names, returned_names)
+        ]
+        return self.fleet.simulate_round(round_index, dispatches)
+
+    def finalize_round(self, record: RoundRecord, outcome: "RoundOutcome | None" = None) -> RoundRecord:
+        """Attach the round's system accounting to its record (shared hook).
+
+        Every algorithm returns ``self.finalize_round(record, outcome)`` at
+        the end of :meth:`run_round`: with a fleet outcome it records the
+        simulated duration, per-client arrivals, dropped clients, the
+        deadline and the bytes moved; otherwise it falls back to the
+        legacy test-bed clock (or leaves the record untimed).
+        """
+        if outcome is None:
+            record.wall_clock_seconds = self.simulate_round_time(
+                record.round_index, record.selected_clients, record.dispatched, record.returned
+            )
+            return record
+        record.wall_clock_seconds = outcome.round_seconds
+        record.deadline_seconds = outcome.deadline_seconds
+        record.arrival_seconds = outcome.arrival_seconds()
+        record.dropped_clients = outcome.dropped_client_ids()
+        record.bytes_down = outcome.bytes_down
+        record.bytes_up = outcome.bytes_up
+        return record
 
     # -- evaluation -----------------------------------------------------------------------
     def evaluate(self) -> tuple[float, dict[str, float]]:

@@ -1,8 +1,17 @@
-"""Round-by-round training history shared by AdaptiveFL and the baselines."""
+"""Round-by-round training history shared by AdaptiveFL and the baselines.
+
+Both :class:`RoundRecord` and :class:`TrainingHistory` serialise with
+``to_dict()`` and reconstruct with ``from_dict()`` (strict: unknown keys
+raise), so histories round-trip losslessly through JSON — the experiment
+runner, the CLI and the benchmark artifacts all rely on it.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.serialization import checked_payload
 
 __all__ = ["RoundRecord", "TrainingHistory"]
 
@@ -24,9 +33,19 @@ class RoundRecord:
     returned: list[str] = field(default_factory=list)
     selected_clients: list[int] = field(default_factory=list)
     wall_clock_seconds: float | None = None
+    # -- fleet-simulation fields (populated when a scenario is active) ----------------
+    #: per-selected-client upload-complete seconds; None = never returned
+    arrival_seconds: list[float | None] = field(default_factory=list)
+    #: selected clients whose update missed aggregation (dropout or deadline)
+    dropped_clients: list[int] = field(default_factory=list)
+    #: the synchronous-round deadline applied (None = no deadline)
+    deadline_seconds: float | None = None
+    #: total bytes the server sent to / received from the fleet this round
+    bytes_down: int | None = None
+    bytes_up: int | None = None
 
     def to_dict(self) -> dict:
-        """JSON-friendly summary (the fields the paper's tables/figures use)."""
+        """JSON-friendly representation; round-trips through :meth:`from_dict`."""
         return {
             "round": self.round_index,
             "full_accuracy": self.full_accuracy,
@@ -35,7 +54,43 @@ class RoundRecord:
             "train_loss": self.train_loss,
             "communication_waste": self.communication_waste,
             "wall_clock_seconds": self.wall_clock_seconds,
+            "dispatched": self.dispatched,
+            "returned": self.returned,
+            "selected_clients": self.selected_clients,
+            "arrival_seconds": self.arrival_seconds,
+            "dropped_clients": self.dropped_clients,
+            "deadline_seconds": self.deadline_seconds,
+            "bytes_down": self.bytes_down,
+            "bytes_up": self.bytes_up,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RoundRecord":
+        """Strict reconstruction (the ``round`` key maps to ``round_index``)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"RoundRecord payload must be a mapping, got {type(payload).__name__}")
+        data = dict(payload)
+        if "round" in data:
+            if "round_index" in data:
+                raise ValueError("RoundRecord payload sets both 'round' and 'round_index'")
+            data["round_index"] = data.pop("round")
+        data = checked_payload(cls, data)
+        for name, caster in (("selected_clients", int), ("dropped_clients", int), ("dispatched", str), ("returned", str)):
+            if name in data:
+                if not isinstance(data[name], (list, tuple)):
+                    raise ValueError(f"{name} must be a list")
+                data[name] = [caster(item) for item in data[name]]
+        if "arrival_seconds" in data:
+            if not isinstance(data["arrival_seconds"], (list, tuple)):
+                raise ValueError("arrival_seconds must be a list")
+            data["arrival_seconds"] = [None if item is None else float(item) for item in data["arrival_seconds"]]
+        return cls(**data)
+
+    @property
+    def aggregated_clients(self) -> list[int]:
+        """The selected clients whose updates actually joined aggregation."""
+        dropped = set(self.dropped_clients)
+        return [client for client in self.selected_clients if client not in dropped]
 
 
 class TrainingHistory:
@@ -84,6 +139,10 @@ class TrainingHistory:
             values.append(value)
         return rounds, values
 
+    def elapsed_seconds(self) -> float:
+        """Total simulated wall-clock over all rounds (0.0 without a clock)."""
+        return float(sum(record.wall_clock_seconds or 0.0 for record in self.records))
+
     def final_accuracy(self, kind: str = "full") -> float:
         """Best evaluated accuracy over training (the paper reports best test accuracy)."""
         _, values = self.accuracy_curve(kind)
@@ -98,9 +157,30 @@ class TrainingHistory:
             raise ValueError("history has no communication-waste records")
         return float(sum(rates) / len(rates))
 
+    def total_dropped(self) -> int:
+        """Dispatched-but-not-aggregated client slots over the whole run."""
+        return sum(len(record.dropped_clients) for record in self.records)
+
     def to_dict(self) -> dict:
         """JSON-friendly representation (used by the experiment runner and CLI)."""
         return {
             "algorithm": self.algorithm,
             "rounds": [record.to_dict() for record in self.records],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TrainingHistory":
+        """Strict reconstruction of :meth:`to_dict` output (unknown keys raise)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"TrainingHistory payload must be a mapping, got {type(payload).__name__}")
+        unknown = sorted(set(payload) - {"algorithm", "rounds"})
+        if unknown:
+            raise ValueError(f"TrainingHistory does not accept key(s) {', '.join(map(repr, unknown))}")
+        if "algorithm" not in payload or "rounds" not in payload:
+            raise ValueError("TrainingHistory payload needs 'algorithm' and 'rounds'")
+        if not isinstance(payload["rounds"], (list, tuple)):
+            raise ValueError("rounds must be a list of round records")
+        history = cls(str(payload["algorithm"]))
+        for round_payload in payload["rounds"]:
+            history.append(RoundRecord.from_dict(round_payload))
+        return history

@@ -87,53 +87,72 @@ class AdaptiveFL(FederatedAlgorithm):
         sequential implementation for every executor choice.
         """
         rng = self.round_rng(round_index)
-        selected: set[int] = set()
-        tasks: list[LocalRoundTask] = []
-        planned_returns: list[SubmodelConfig] = []
+        available = self.selectable_clients(round_index)
+        # unavailable clients are folded into the selector's exclusion set, so
+        # the RL machinery runs unchanged over the reachable fleet
+        excluded: set[int] = set() if available is None else set(range(self.num_clients)) - set(available)
+        participants = (
+            self.dispatch_count() if available is None else min(self.dispatch_count(), len(available))
+        )
 
-        participants = min(self.federated_config.clients_per_round, self.num_clients)
+        selected: list[int] = []
+        capacities: list[float] = []
+        dispatched_configs: list[SubmodelConfig] = []
+        planned_returns: list[SubmodelConfig] = []
         for _ in range(participants):
             dispatched = self._draw_model(rng)
-            client_id = self.selector.select(dispatched, rng, excluded=selected)
-            selected.add(client_id)
+            client_id = self.selector.select(dispatched, rng, excluded=excluded)
+            excluded.add(client_id)
+            selected.append(client_id)
 
             capacity = self.client_capacity(client_id, round_index)
             planned_return = resource_aware_prune(self.pool, dispatched, capacity)
             self.selector.update(dispatched, planned_return, client_id)
+            capacities.append(capacity)
+            dispatched_configs.append(dispatched)
             planned_returns.append(planned_return)
-            tasks.append(
-                LocalRoundTask(
-                    client=self.clients[client_id],
-                    pool=self.pool,
-                    dispatched=dispatched,
-                    dispatched_state=extract_submodel_state(self.global_state, self.pool, dispatched),
-                    available_capacity=capacity,
-                    rng_stream=self.client_stream(round_index, client_id),
-                )
-            )
 
+        dispatched_names = [config.name for config in dispatched_configs]
+        returned_names = [config.name for config in planned_returns]
+        outcome = self.plan_round_outcome(round_index, selected, dispatched_names, returned_names)
+        keep = list(outcome.aggregated_positions()) if outcome is not None else list(range(participants))
+
+        tasks = [
+            LocalRoundTask(
+                client=self.clients[selected[i]],
+                pool=self.pool,
+                dispatched=dispatched_configs[i],
+                dispatched_state=extract_submodel_state(self.global_state, self.pool, dispatched_configs[i]),
+                available_capacity=capacities[i],
+                rng_stream=self.client_stream(round_index, selected[i]),
+            )
+            for i in keep
+        ]
         results: list[ClientRoundResult] = self.execute_client_tasks(tasks)
-        for result, planned_return in zip(results, planned_returns):
-            if result.returned.name != planned_return.name:  # pragma: no cover - invariant
+        for i, result in zip(keep, results):
+            if result.returned.name != planned_returns[i].name:  # pragma: no cover - invariant
                 raise RuntimeError(
                     f"client {result.client_id} returned {result.returned.name} but the "
-                    f"resource plan predicted {planned_return.name}"
+                    f"resource plan predicted {planned_returns[i].name}"
                 )
 
         updates = [ClientUpdate(result.state, result.num_samples) for result in results]
-        self.global_state = aggregate_heterogeneous(self.global_state, updates)
+        if updates:
+            self.global_state = aggregate_heterogeneous(self.global_state, updates)
 
-        sent_sizes = [result.dispatched.num_params for result in results]
-        back_sizes = [result.returned.num_params for result in results]
+        # waste counts every dispatch: a dropped/late client's downlinked model
+        # returns nothing, which is exactly the waste the paper's §4.4 rate measures
+        aggregated = set(keep)
+        sent_sizes = [config.num_params for config in dispatched_configs]
+        back_sizes = [
+            planned_returns[i].num_params if i in aggregated else 0 for i in range(participants)
+        ]
         record = RoundRecord(
             round_index=round_index,
             train_loss=float(np.mean([result.mean_loss for result in results])) if results else None,
-            communication_waste=communication_waste_rate(sent_sizes, back_sizes),
-            dispatched=[result.dispatched.name for result in results],
-            returned=[result.returned.name for result in results],
-            selected_clients=[result.client_id for result in results],
+            communication_waste=communication_waste_rate(sent_sizes, back_sizes) if selected else None,
+            dispatched=dispatched_names,
+            returned=returned_names,
+            selected_clients=selected,
         )
-        record.wall_clock_seconds = self.simulate_round_time(
-            round_index, record.selected_clients, record.dispatched, record.returned
-        )
-        return record
+        return self.finalize_round(record, outcome)

@@ -18,7 +18,41 @@ import numpy as np
 
 from repro.devices.profiles import DeviceClass, DeviceProfile
 
-__all__ = ["TestbedDeviceSpec", "TESTBED_DEVICE_SPECS", "TestbedSimulator"]
+__all__ = [
+    "TestbedDeviceSpec",
+    "TESTBED_DEVICE_SPECS",
+    "TestbedSimulator",
+    "DEFAULT_CAPACITY_FRACTIONS",
+    "split_round_seconds",
+]
+
+#: bytes per parameter (float32 on the wire)
+BYTES_PER_PARAM = 4
+#: backward pass costs roughly twice the forward pass
+TRAIN_FLOP_MULTIPLIER = 3.0
+
+
+def split_round_seconds(
+    bandwidth_mbps: float,
+    flops_per_second: float,
+    params_down: int,
+    params_up: int,
+    flops_per_sample: int,
+    num_samples: int,
+    local_epochs: int,
+) -> tuple[float, float]:
+    """(communication, training) seconds of one client's synchronous round.
+
+    The single closed-form clock of the paper's §4.5 evaluation.  Both the
+    legacy :class:`TestbedSimulator` and the static path of
+    :class:`repro.sim.fleet.FleetSimulator` compute through this function,
+    which is what makes their ``paper_testbed`` parity structural rather
+    than a convention.
+    """
+    bytes_total = (params_down + params_up) * BYTES_PER_PARAM
+    communication = bytes_total * 8 / (bandwidth_mbps * 1e6)
+    total_flops = TRAIN_FLOP_MULTIPLIER * flops_per_sample * num_samples * local_epochs
+    return communication, total_flops / flops_per_second
 
 
 @dataclass(frozen=True)
@@ -44,6 +78,10 @@ class TestbedDeviceSpec:
             raise ValueError("device count must be positive")
 
 
+#: capacity fraction of the full model each device class can train
+#: (shared with the fleet simulator's profile construction)
+DEFAULT_CAPACITY_FRACTIONS: dict[str, float] = {"weak": 0.30, "medium": 0.55, "strong": 1.0}
+
 #: Table 5 of the paper, with throughput figures representative of the
 #: listed hardware (effective sustained training throughput, not peak).
 TESTBED_DEVICE_SPECS: tuple[TestbedDeviceSpec, ...] = (
@@ -59,10 +97,10 @@ class TestbedSimulator:
     #: not a pytest test class despite the name
     __test__ = False
 
-    #: bytes per parameter (float32 on the wire)
-    BYTES_PER_PARAM = 4
+    #: bytes per parameter (kept as class attributes for compatibility)
+    BYTES_PER_PARAM = BYTES_PER_PARAM
     #: backward pass costs roughly twice the forward pass
-    TRAIN_FLOP_MULTIPLIER = 3.0
+    TRAIN_FLOP_MULTIPLIER = TRAIN_FLOP_MULTIPLIER
 
     def __init__(
         self,
@@ -71,7 +109,7 @@ class TestbedSimulator:
         seed: int = 0,
     ):
         self.specs = tuple(specs)
-        self.capacity_fractions = capacity_fractions or {"weak": 0.30, "medium": 0.55, "strong": 1.0}
+        self.capacity_fractions = capacity_fractions or dict(DEFAULT_CAPACITY_FRACTIONS)
         self.seed = seed
         self._device_specs: list[TestbedDeviceSpec] = []
         for spec in self.specs:
@@ -113,14 +151,18 @@ class TestbedSimulator:
     def communication_time(self, client_id: int, params_down: int, params_up: int) -> float:
         """Seconds to download the dispatched model and upload the trained one."""
         spec = self._spec_for_profile(client_id)
-        bytes_total = (params_down + params_up) * self.BYTES_PER_PARAM
-        return bytes_total * 8 / (spec.bandwidth_mbps * 1e6)
+        communication, _ = split_round_seconds(
+            spec.bandwidth_mbps, spec.flops_per_second, params_down, params_up, 0, 0, 0
+        )
+        return communication
 
     def training_time(self, client_id: int, flops_per_sample: int, num_samples: int, local_epochs: int) -> float:
         """Seconds of local training for one round."""
         spec = self._spec_for_profile(client_id)
-        total_flops = self.TRAIN_FLOP_MULTIPLIER * flops_per_sample * num_samples * local_epochs
-        return total_flops / spec.flops_per_second
+        _, training = split_round_seconds(
+            spec.bandwidth_mbps, spec.flops_per_second, 0, 0, flops_per_sample, num_samples, local_epochs
+        )
+        return training
 
     def client_round_time(
         self,

@@ -81,11 +81,23 @@ def run_algorithm(
     selection_strategy: str | None = None,
     num_rounds: int | None = None,
     testbed: TestbedSimulator | None = None,
+    scenario: str | None = None,
     callbacks: Sequence[CallbackArg] | None = None,
 ) -> AlgorithmResult:
-    """Train one registered algorithm on a prepared experiment."""
+    """Train one registered algorithm on a prepared experiment.
+
+    ``scenario`` (a registered :mod:`repro.sim` scenario name) overlays the
+    scenario's *dynamics* — timing, availability, dropouts, deadlines —
+    on this one run; each run builds its own stateful
+    :class:`~repro.sim.fleet.FleetSimulator`.  The prepared experiment's
+    capacity profiles are kept as-is (useful for paired what-if runs on an
+    identical snapshot); to let the scenario's device mix also define the
+    capacity profiles, put it in ``ExperimentSetting.scenario`` (or use
+    :meth:`repro.api.session.ExperimentSession.with_scenario`) before
+    preparing.
+    """
     spec = get_algorithm(name)
-    algorithm = spec.build(prepared, selection_strategy=selection_strategy, testbed=testbed)
+    algorithm = spec.build(prepared, selection_strategy=selection_strategy, testbed=testbed, scenario=scenario)
     history = algorithm.run(num_rounds=num_rounds, callbacks=_materialize_callbacks(callbacks))
     return AlgorithmResult.from_history(spec.run_label(selection_strategy), history)
 
@@ -95,12 +107,15 @@ def run_comparison(
     algorithms: Iterable[str] | None = None,
     num_rounds: int | None = None,
     testbed: TestbedSimulator | None = None,
+    scenario: str | None = None,
     callbacks: Sequence[CallbackArg] | None = None,
 ) -> dict[str, AlgorithmResult]:
     """Run several algorithms on the *same* prepared experiment (paired)."""
     names = validate_algorithm_names(algorithms if algorithms is not None else available_algorithms())
     prepared = prepare_experiment(setting)
     return {
-        name: run_algorithm(name, prepared, num_rounds=num_rounds, testbed=testbed, callbacks=callbacks)
+        name: run_algorithm(
+            name, prepared, num_rounds=num_rounds, testbed=testbed, scenario=scenario, callbacks=callbacks
+        )
         for name in names
     }

@@ -23,6 +23,8 @@ from repro.devices.resources import ResourceModel
 from repro.experiments.scaling import ExperimentScale, get_scale
 from repro.nn.models import create_architecture
 from repro.nn.models.spec import SlimmableArchitecture
+from repro.sim.fleet import FleetSimulator
+from repro.sim.scenario import get_scenario, validate_scenario_choice
 
 __all__ = [
     "DATASET_BUILDERS",
@@ -61,6 +63,8 @@ class ExperimentSetting:
     executor: str = "serial"
     #: worker count for pool-based executors (None = the usable CPU count)
     max_workers: int | None = None
+    #: registered fleet scenario (repro.sim) driving system dynamics, or None
+    scenario: str | None = None
     overrides: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -71,6 +75,7 @@ class ExperimentSetting:
         if self.distribution == "dirichlet" and self.alpha is None:
             raise ValueError("dirichlet distribution requires alpha")
         validate_executor_choice(self.executor, self.max_workers)
+        validate_scenario_choice(self.scenario)
 
     def to_dict(self) -> dict:
         """JSON-friendly representation; round-trips through :meth:`from_dict`."""
@@ -198,7 +203,13 @@ def prepare_experiment(setting: ExperimentSetting) -> PreparedExperiment:
         rng=rng,
         alpha=setting.alpha,
     )
-    profiles = build_device_profiles(scale.num_clients, setting.proportion, rng)
+    if setting.scenario is not None:
+        # the scenario's device mix defines the fleet: capacity profiles come
+        # from the same deterministic expansion the per-run FleetSimulator uses
+        fleet = FleetSimulator(get_scenario(setting.scenario), num_clients=scale.num_clients, seed=setting.seed)
+        profiles = fleet.build_profiles()
+    else:
+        profiles = build_device_profiles(scale.num_clients, setting.proportion, rng)
     resource_model = ResourceModel(
         profiles,
         architecture.parameter_count(),
@@ -212,6 +223,7 @@ def prepare_experiment(setting: ExperimentSetting) -> PreparedExperiment:
         seed=setting.seed,
         executor=setting.executor,
         max_workers=setting.max_workers,
+        scenario=setting.scenario,
     )
     local_config = LocalTrainingConfig(
         local_epochs=scale.local_epochs,

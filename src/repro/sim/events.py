@@ -1,0 +1,115 @@
+"""Virtual clock + event heap: the deterministic core of the simulator.
+
+The queue is a classic discrete-event scheduler: events carry an absolute
+virtual time, ties break FIFO by a monotone sequence number (never by
+callback identity or hash order), and cancelled events are skipped lazily
+when popped.  Determinism therefore depends only on *what* is scheduled,
+never on wall-clock, thread timing or dict iteration order.
+
+:class:`TransferGate` models the server's bounded transfer concurrency: at
+most ``capacity`` uploads/downloads proceed at once, the rest wait in a
+FIFO queue.  Queueing delay — not just link speed — is what makes the
+``congested_network`` scenario produce stragglers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue", "TransferGate"]
+
+
+@dataclass
+class Event:
+    """One scheduled callback at a virtual time (orderable for the heap)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """A min-heap of events with a virtual clock and FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The current virtual time (seconds)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        event = Event(time=self._now + delay, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (lazily discarded when popped)."""
+        event.cancelled = True
+
+    def run(self) -> float:
+        """Process every event in (time, FIFO) order; returns the final time."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+        return self._now
+
+
+class TransferGate:
+    """FIFO admission control for the server's concurrent-transfer slots.
+
+    ``capacity=None`` means an uncontended server (every transfer starts
+    immediately).  ``acquire`` either runs ``start`` now or enqueues it;
+    ``release`` hands the freed slot to the longest-waiting transfer.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unlimited)")
+        self.capacity = capacity
+        self._active = 0
+        self._waiting: deque[Callable[[], None]] = deque()
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiting)
+
+    def acquire(self, start: Callable[[], None]) -> None:
+        if self.capacity is None or self._active < self.capacity:
+            self._active += 1
+            start()
+        else:
+            self._waiting.append(start)
+
+    def release(self) -> None:
+        if self._active <= 0:
+            raise RuntimeError("release without a matching acquire")
+        self._active -= 1
+        if self._waiting and (self.capacity is None or self._active < self.capacity):
+            start = self._waiting.popleft()
+            self._active += 1
+            start()

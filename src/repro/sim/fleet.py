@@ -1,0 +1,497 @@
+""":class:`FleetSimulator` — the per-run discrete-event fleet engine.
+
+One fleet instance backs one algorithm run.  It owns
+
+* the **device fleet**: the scenario's templates expanded to the
+  experiment's client count (fixed counts verbatim when they match,
+  largest-remainder proportions otherwise),
+* the **availability trace**: which clients are reachable at each round
+  (always / Markov churn / diurnal duty cycle, overlaid with battery
+  state),
+* the **round simulation**: download → local compute → upload per
+  participant on the :class:`~repro.sim.events.EventQueue`, with link
+  latency/jitter, per-round compute-throughput jitter, a FIFO
+  :class:`~repro.sim.events.TransferGate` bounding server transfer
+  concurrency, mid-round dropouts and battery depletion,
+* **deadline-aware arrival accounting**: which uploads made it back by
+  the synchronous-round deadline (absolute seconds or a factor of the
+  round's median finish time) and therefore join aggregation.
+
+Determinism: every stochastic quantity is drawn up-front from a
+:class:`numpy.random.SeedSequence` keyed on ``(seed, tag, round,
+client)`` — a key-space disjoint from the training streams of
+:mod:`repro.engine.rng` — and the event core breaks ties FIFO, so a
+same-seed run is bit-identical across executors, worker counts and
+process boundaries.
+
+Static scenarios (no jitter, no churn, no contention, no deadline —
+``ScenarioSpec.is_static``) bypass the event decomposition and use the
+exact closed-form arithmetic of
+:meth:`repro.devices.testbed.TestbedSimulator.client_round_time`, which is
+what makes the ``paper_testbed`` scenario reproduce the legacy test-bed
+wall-clock numbers bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.profiles import DeviceClass, DeviceProfile
+from repro.devices.testbed import DEFAULT_CAPACITY_FRACTIONS, TestbedSimulator, split_round_seconds
+from repro.sim.events import EventQueue, TransferGate
+from repro.sim.scenario import DeviceTemplate, ScenarioSpec
+
+__all__ = ["ClientDispatch", "ClientOutcome", "RoundOutcome", "FleetSimulator"]
+
+# shared with the legacy test-bed so paper_testbed parity can never drift
+#: bytes per parameter (float32 on the wire)
+BYTES_PER_PARAM = TestbedSimulator.BYTES_PER_PARAM
+#: backward pass costs roughly twice the forward pass
+TRAIN_FLOP_MULTIPLIER = TestbedSimulator.TRAIN_FLOP_MULTIPLIER
+#: capacity fraction per device class
+CAPACITY_FRACTIONS = DEFAULT_CAPACITY_FRACTIONS
+
+#: sim-stream namespace tag; keeps (seed, tag, ...) keys disjoint from the
+#: (seed, round, client) training streams and (seed, client, round)
+#: resource-model draws, which use shorter entropy tuples
+_SIM_TAG = 0x51E47
+_COMPUTE, _LINK_DOWN, _LINK_UP, _DROPOUT, _AVAILABILITY, _PHASE = range(6)
+
+
+@dataclass(frozen=True)
+class ClientDispatch:
+    """What the server asks one selected client to do this round."""
+
+    client_id: int
+    params_down: int
+    params_up: int
+    flops_per_sample: int
+    num_samples: int
+    local_epochs: int
+
+
+@dataclass
+class ClientOutcome:
+    """How one dispatched client's round actually went."""
+
+    client_id: int
+    bytes_down: int
+    bytes_up: int
+    #: upload-complete time (seconds from round start); None = never returned
+    finish_seconds: float | None
+    #: True when the client failed mid-round (dropout or battery death)
+    dropped: bool
+    #: True when the update arrived in time to join aggregation
+    aggregated: bool
+    #: seconds of local compute actually spent (battery accounting)
+    compute_seconds: float = 0.0
+    #: when a dropped client went silent (the server's timeout horizon)
+    failure_seconds: float | None = None
+
+
+@dataclass
+class RoundOutcome:
+    """The simulated fate of one synchronous round."""
+
+    round_index: int
+    clients: list[ClientOutcome]
+    deadline_seconds: float | None
+    round_seconds: float
+
+    def aggregated_positions(self) -> list[int]:
+        """Indices (into the dispatch order) whose updates join aggregation."""
+        return [i for i, client in enumerate(self.clients) if client.aggregated]
+
+    def dropped_client_ids(self) -> list[int]:
+        """Clients whose update missed aggregation (dropout or deadline)."""
+        return [client.client_id for client in self.clients if not client.aggregated]
+
+    def arrival_seconds(self) -> list[float | None]:
+        """Per-dispatched-client upload-complete times (None = dropped)."""
+        return [client.finish_seconds for client in self.clients]
+
+    @property
+    def bytes_down(self) -> int:
+        return sum(client.bytes_down for client in self.clients)
+
+    @property
+    def bytes_up(self) -> int:
+        return sum(client.bytes_up for client in self.clients)
+
+
+class FleetSimulator:
+    """Stateful scenario engine for one algorithm run (one fleet per run)."""
+
+    def __init__(self, spec: ScenarioSpec, num_clients: int, seed: int = 0):
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        self.spec = spec
+        self.seed = int(seed)
+        self.devices: list[DeviceTemplate] = _expand_devices(spec.devices, num_clients)
+        self.num_clients = len(self.devices)
+        self._avail_cache: dict[int, np.ndarray] = {}
+        self._diurnal_offsets: np.ndarray | None = None
+        self._last_simulated_round = -1
+        battery = spec.battery
+        self._charge = (
+            np.full(self.num_clients, battery.capacity_joules, dtype=np.float64)
+            if battery is not None
+            else None
+        )
+        self._recovering: set[int] = set()
+
+    # -- profiles ---------------------------------------------------------------------
+    def build_profiles(self) -> list[DeviceProfile]:
+        """Capacity profiles matching the fleet (weak/medium/strong classes).
+
+        Deterministic, in fleet order — the same mapping the legacy
+        test-bed produces with an identity permutation.
+        """
+        top_speed = max(device.flops_per_second for device in self.devices)
+        profiles = []
+        for client_id, device in enumerate(self.devices):
+            device_class = DeviceClass(
+                name=device.device_class,
+                capacity_fraction=CAPACITY_FRACTIONS[device.device_class],
+                compute_speed=device.flops_per_second / top_speed,
+                memory_gb=device.memory_gb,
+            )
+            profiles.append(DeviceProfile(client_id=client_id, device_class=device_class))
+        return profiles
+
+    def device_for(self, client_id: int) -> DeviceTemplate:
+        return self.devices[client_id]
+
+    # -- randomness -------------------------------------------------------------------
+    def _rng(self, tag: int, round_index: int, client_id: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence((self.seed, _SIM_TAG, tag, round_index, client_id))
+        )
+
+    # -- availability -----------------------------------------------------------------
+    def _trace_availability(self, round_index: int) -> np.ndarray:
+        """The scenario's raw on/off trace (before battery overlay)."""
+        spec = self.spec.availability
+        if spec.kind == "always":
+            return np.ones(self.num_clients, dtype=bool)
+        if spec.kind == "diurnal":
+            if self._diurnal_offsets is None:
+                # per-client phase: a pure function of (seed, client), drawn once
+                self._diurnal_offsets = np.array(
+                    [
+                        int(self._rng(_PHASE, 0, client_id).integers(0, spec.period_rounds))
+                        for client_id in range(self.num_clients)
+                    ]
+                )
+            on_rounds = max(1, int(np.ceil(spec.on_fraction * spec.period_rounds)))
+            return (round_index + self._diurnal_offsets) % spec.period_rounds < on_rounds
+        return self._markov_state(round_index)
+
+    def _markov_state(self, round_index: int) -> np.ndarray:
+        spec = self.spec.availability
+        if round_index in self._avail_cache:
+            return self._avail_cache[round_index]
+        start = max((r for r in self._avail_cache if r < round_index), default=-1)
+        if start == -1:
+            denominator = spec.p_drop + spec.p_join
+            stationary_on = 1.0 if denominator == 0 else spec.p_join / denominator
+            state = np.array(
+                [
+                    float(self._rng(_AVAILABILITY, 0, c).random()) < stationary_on
+                    for c in range(self.num_clients)
+                ],
+                dtype=bool,
+            )
+            self._avail_cache[0] = state
+            start = 0
+        state = self._avail_cache[start]
+        for r in range(start + 1, round_index + 1):
+            draws = np.array(
+                [float(self._rng(_AVAILABILITY, r, c).random()) for c in range(self.num_clients)]
+            )
+            state = np.where(state, draws >= spec.p_drop, draws < spec.p_join)
+            self._avail_cache[r] = state
+        return self._avail_cache[round_index]
+
+    def available_clients(self, round_index: int) -> list[int]:
+        """Clients the server can reach when round ``round_index`` starts.
+
+        Battery-recovering clients sit out.  If the trace leaves nobody
+        online the server is modelled as waiting out the gap: first the
+        battery overlay is lifted, then — if the raw trace itself is empty
+        — every client is considered reachable again.
+        """
+        trace = self._trace_availability(round_index)
+        online = [c for c in range(self.num_clients) if trace[c] and c not in self._recovering]
+        if online:
+            return online
+        online = [c for c in range(self.num_clients) if trace[c]]
+        return online if online else list(range(self.num_clients))
+
+    # -- battery ----------------------------------------------------------------------
+    def battery_charge(self, client_id: int) -> float | None:
+        """Remaining charge in joules (None when the scenario has no battery)."""
+        if self._charge is None:
+            return None
+        return float(self._charge[client_id])
+
+    # -- round simulation -------------------------------------------------------------
+    def simulate_round(self, round_index: int, dispatches: list[ClientDispatch]) -> RoundOutcome:
+        """Simulate one synchronous round; mutates battery/availability state.
+
+        Must be called once per round, in increasing round order (the
+        federated loop does exactly that).
+        """
+        if round_index <= self._last_simulated_round:
+            raise ValueError(
+                f"round {round_index} already simulated (last was {self._last_simulated_round}); "
+                "fleets are stateful and rounds must advance monotonically"
+            )
+        self._last_simulated_round = round_index
+
+        if self.spec.is_static:
+            outcome = self._simulate_static(round_index, dispatches)
+        else:
+            outcome = self._simulate_events(round_index, dispatches)
+            self._apply_battery_deaths(outcome, dispatches)
+            self._apply_deadline(outcome)
+            self._advance_batteries(outcome, dispatches)
+        return outcome
+
+    def _closed_form_seconds(self, dispatch: ClientDispatch) -> tuple[float, float]:
+        """The legacy test-bed's (communication, training) clock, shared code."""
+        device = self.devices[dispatch.client_id]
+        return split_round_seconds(
+            device.bandwidth_mbps,
+            device.flops_per_second,
+            dispatch.params_down,
+            dispatch.params_up,
+            dispatch.flops_per_sample,
+            dispatch.num_samples,
+            dispatch.local_epochs,
+        )
+
+    def _simulate_static(self, round_index: int, dispatches: list[ClientDispatch]) -> RoundOutcome:
+        clients = []
+        for dispatch in dispatches:
+            communication, training = self._closed_form_seconds(dispatch)
+            clients.append(
+                ClientOutcome(
+                    client_id=dispatch.client_id,
+                    bytes_down=dispatch.params_down * BYTES_PER_PARAM,
+                    bytes_up=dispatch.params_up * BYTES_PER_PARAM,
+                    finish_seconds=communication + training,
+                    dropped=False,
+                    aggregated=True,
+                    compute_seconds=training,
+                )
+            )
+        finishes = [client.finish_seconds for client in clients]
+        round_seconds = float(max(finishes)) if finishes else 0.0
+        return RoundOutcome(
+            round_index=round_index, clients=clients, deadline_seconds=None, round_seconds=round_seconds
+        )
+
+    def _simulate_events(self, round_index: int, dispatches: list[ClientDispatch]) -> RoundOutcome:
+        queue = EventQueue()
+        gate = TransferGate(self.spec.network.server_concurrency)
+
+        plans = []
+        for dispatch in dispatches:
+            device = self.devices[dispatch.client_id]
+            # all randomness is drawn up-front, keyed on (round, client):
+            # the event interleaving can never change what was drawn
+            compute_rng = self._rng(_COMPUTE, round_index, dispatch.client_id)
+            factor = (
+                float(np.exp(device.compute_jitter * compute_rng.standard_normal()))
+                if device.compute_jitter > 0
+                else 1.0
+            )
+            down_jitter = (
+                float(device.link_jitter_s * self._rng(_LINK_DOWN, round_index, dispatch.client_id).exponential())
+                if device.link_jitter_s > 0
+                else 0.0
+            )
+            up_jitter = (
+                float(device.link_jitter_s * self._rng(_LINK_UP, round_index, dispatch.client_id).exponential())
+                if device.link_jitter_s > 0
+                else 0.0
+            )
+            drop_fraction = None
+            if self.spec.dropout_rate > 0:
+                dropout_rng = self._rng(_DROPOUT, round_index, dispatch.client_id)
+                if float(dropout_rng.random()) < self.spec.dropout_rate:
+                    drop_fraction = float(dropout_rng.random())
+            total_flops = (
+                TRAIN_FLOP_MULTIPLIER
+                * dispatch.flops_per_sample
+                * dispatch.num_samples
+                * dispatch.local_epochs
+            )
+            plans.append(
+                {
+                    "download": device.link_latency_s
+                    + down_jitter
+                    + dispatch.params_down * BYTES_PER_PARAM * 8 / (device.bandwidth_mbps * 1e6),
+                    "compute": total_flops / (device.flops_per_second * factor),
+                    "upload": device.link_latency_s
+                    + up_jitter
+                    + dispatch.params_up * BYTES_PER_PARAM * 8 / (device.bandwidth_mbps * 1e6),
+                    "drop_fraction": drop_fraction,
+                }
+            )
+
+        outcomes = [
+            ClientOutcome(
+                client_id=dispatch.client_id,
+                bytes_down=dispatch.params_down * BYTES_PER_PARAM,
+                bytes_up=0,
+                finish_seconds=None,
+                dropped=False,
+                aggregated=False,
+            )
+            for dispatch in dispatches
+        ]
+
+        def start_download(i: int):
+            def start() -> None:
+                queue.schedule(plans[i]["download"], make_finish_download(i))
+
+            return start
+
+        def make_finish_download(i: int):
+            def finish() -> None:
+                gate.release()
+                plan, outcome = plans[i], outcomes[i]
+                if plan["drop_fraction"] is not None:
+                    spent = plan["drop_fraction"] * plan["compute"]
+                    outcome.dropped = True
+                    outcome.compute_seconds = spent
+                    outcome.failure_seconds = queue.now + spent
+                    return  # the client dies mid-compute; nothing more happens
+                outcome.compute_seconds = plan["compute"]
+                queue.schedule(plan["compute"], make_request_upload(i))
+
+            return finish
+
+        def make_request_upload(i: int):
+            def request() -> None:
+                gate.acquire(make_start_upload(i))
+
+            return request
+
+        def make_start_upload(i: int):
+            def start() -> None:
+                queue.schedule(plans[i]["upload"], make_finish_upload(i))
+
+            return start
+
+        def make_finish_upload(i: int):
+            def finish() -> None:
+                gate.release()
+                outcome = outcomes[i]
+                outcome.finish_seconds = queue.now
+                outcome.bytes_up = dispatches[i].params_up * BYTES_PER_PARAM
+
+            return finish
+
+        for i in range(len(dispatches)):  # FIFO by dispatch order at t=0
+            gate.acquire(start_download(i))
+        queue.run()
+
+        return RoundOutcome(round_index=round_index, clients=outcomes, deadline_seconds=None, round_seconds=0.0)
+
+    def _apply_battery_deaths(self, outcome: RoundOutcome, dispatches: list[ClientDispatch]) -> None:
+        """Clients whose charge cannot cover the round die mid-round."""
+        battery = self.spec.battery
+        if battery is None:
+            return
+        for client, dispatch in zip(outcome.clients, dispatches):
+            needed = battery.compute_watts * client.compute_seconds + battery.transfer_joules_per_mb * (
+                (client.bytes_down + client.bytes_up) / 1e6
+            )
+            if needed > self._charge[client.client_id]:
+                client.dropped = True
+                if client.failure_seconds is None:
+                    # went silent no later than it would have finished/failed
+                    client.failure_seconds = client.finish_seconds
+                client.finish_seconds = None
+                client.bytes_up = 0
+
+    def _apply_deadline(self, outcome: RoundOutcome) -> None:
+        """Set the deadline, aggregated flags and the round's duration."""
+        finishes = [c.finish_seconds for c in outcome.clients if c.finish_seconds is not None]
+        deadline = self.spec.deadline_seconds
+        if deadline is None and self.spec.deadline_factor is not None and finishes:
+            deadline = float(self.spec.deadline_factor * np.median(finishes))
+        outcome.deadline_seconds = deadline
+        any_missing = False
+        for client in outcome.clients:
+            client.aggregated = client.finish_seconds is not None and (
+                deadline is None or client.finish_seconds <= deadline
+            )
+            any_missing = any_missing or not client.aggregated
+        # without a deadline the server's horizon is the last arrival or the
+        # last failure it times out on — a round never takes zero time just
+        # because everyone failed
+        horizon = finishes + [
+            c.failure_seconds for c in outcome.clients if c.failure_seconds is not None
+        ]
+        if deadline is not None and (any_missing or not finishes):
+            outcome.round_seconds = float(deadline)  # the server waits out the deadline
+        else:
+            outcome.round_seconds = float(max(horizon)) if horizon else 0.0
+
+    def _advance_batteries(self, outcome: RoundOutcome, dispatches: list[ClientDispatch]) -> None:
+        battery = self.spec.battery
+        if battery is None:
+            return
+        participants = {client.client_id for client in outcome.clients}
+        for client in outcome.clients:
+            spent = battery.compute_watts * client.compute_seconds + battery.transfer_joules_per_mb * (
+                (client.bytes_down + client.bytes_up) / 1e6
+            )
+            charge = self._charge[client.client_id]
+            self._charge[client.client_id] = max(0.0, charge - min(spent, charge))
+        for client_id in range(self.num_clients):
+            if client_id not in participants:
+                self._charge[client_id] = min(
+                    battery.capacity_joules,
+                    self._charge[client_id] + battery.recharge_watts * outcome.round_seconds,
+                )
+        low = battery.min_charge_fraction * battery.capacity_joules
+        resume = battery.resume_charge_fraction * battery.capacity_joules
+        for client_id in range(self.num_clients):
+            if self._charge[client_id] < low:
+                self._recovering.add(client_id)
+            elif client_id in self._recovering and self._charge[client_id] >= resume:
+                self._recovering.discard(client_id)
+
+
+def _expand_devices(templates: tuple[DeviceTemplate, ...], num_clients: int) -> list[DeviceTemplate]:
+    """One template per client: fixed counts verbatim when they match the
+    requested fleet size, largest-remainder proportions otherwise."""
+    if templates[0].count is not None:
+        total = sum(template.count for template in templates)
+        if total == num_clients:
+            expanded: list[DeviceTemplate] = []
+            for template in templates:
+                expanded.extend([template] * template.count)
+            return expanded
+        weights = [template.count / total for template in templates]
+    else:
+        total_fraction = sum(template.fraction for template in templates)
+        weights = [template.fraction / total_fraction for template in templates]
+
+    exact = [weight * num_clients for weight in weights]
+    counts = [int(np.floor(value)) for value in exact]
+    remainder = num_clients - sum(counts)
+    by_fraction = sorted(range(len(templates)), key=lambda i: exact[i] - counts[i], reverse=True)
+    for i in by_fraction[:remainder]:
+        counts[i] += 1
+    expanded = []
+    for template, count in zip(templates, counts):
+        expanded.extend([template] * count)
+    return expanded

@@ -1,0 +1,185 @@
+"""The shipped scenario library.
+
+Six scenarios spanning the operating conditions resource-constrained AIoT
+deployments face (ROADMAP's "as many scenarios as you can imagine"):
+
+* ``stable_lab`` — a well-provisioned, always-on lab fleet; the control
+  condition (no churn, no stragglers beyond hardware heterogeneity).
+* ``flaky_edge`` — consumer edge devices: Markov availability churn,
+  mid-round dropouts, compute jitter, a deadline with over-selection.
+* ``diurnal`` — devices that follow a day/night duty cycle with
+  per-client phase offsets (chargers, home routers, parked vehicles).
+* ``congested_network`` — a bandwidth-starved server uplink: few
+  concurrent transfer slots, latency and jitter; stragglers come from
+  queueing, countered by a deadline and over-selection.
+* ``battery_constrained`` — battery-powered sensors that drain while
+  training and recharge while idle.
+* ``paper_testbed`` — the paper's §4.5 test-bed (4 Raspberry Pi 4B,
+  10 Jetson Nano, 3 Jetson Xavier AGX) with **no** dynamics: its round
+  times are bit-identical to the legacy
+  :class:`~repro.devices.testbed.TestbedSimulator`.
+
+The generic fleets reuse the weak/medium/strong capacity classes (and the
+default 4:3:3 mix) of :mod:`repro.devices.profiles`, so capacity-based
+level assignment in the baselines behaves exactly as with the default
+device profiles.
+"""
+
+from __future__ import annotations
+
+from repro.devices.testbed import TESTBED_DEVICE_SPECS
+from repro.sim.scenario import (
+    AvailabilitySpec,
+    BatterySpec,
+    DeviceTemplate,
+    NetworkSpec,
+    ScenarioSpec,
+    register_scenario,
+)
+
+__all__ = [
+    "stable_lab",
+    "flaky_edge",
+    "diurnal",
+    "congested_network",
+    "battery_constrained",
+    "paper_testbed",
+]
+
+
+def _generic_fleet(
+    compute_jitter: float = 0.0,
+    link_latency_s: float = 0.0,
+    link_jitter_s: float = 0.0,
+    bandwidth_scale: float = 1.0,
+) -> tuple[DeviceTemplate, ...]:
+    """The default 4:3:3 weak/medium/strong mix as scenario templates."""
+    return (
+        DeviceTemplate(
+            name="edge_sensor",
+            device_class="weak",
+            flops_per_second=6.0e8,
+            bandwidth_mbps=40.0 * bandwidth_scale,
+            memory_gb=2.0,
+            fraction=0.4,
+            compute_jitter=compute_jitter,
+            link_latency_s=link_latency_s,
+            link_jitter_s=link_jitter_s,
+        ),
+        DeviceTemplate(
+            name="edge_gateway",
+            device_class="medium",
+            flops_per_second=6.0e9,
+            bandwidth_mbps=80.0 * bandwidth_scale,
+            memory_gb=8.0,
+            fraction=0.3,
+            compute_jitter=compute_jitter,
+            link_latency_s=link_latency_s,
+            link_jitter_s=link_jitter_s,
+        ),
+        DeviceTemplate(
+            name="edge_server",
+            device_class="strong",
+            flops_per_second=4.0e10,
+            bandwidth_mbps=200.0 * bandwidth_scale,
+            memory_gb=32.0,
+            fraction=0.3,
+            compute_jitter=compute_jitter,
+            link_latency_s=link_latency_s,
+            link_jitter_s=link_jitter_s,
+        ),
+    )
+
+
+@register_scenario("stable_lab")
+def stable_lab() -> ScenarioSpec:
+    """A wired, always-on lab fleet: heterogeneity without dynamics."""
+    return ScenarioSpec(
+        name="stable_lab",
+        description="always-on lab fleet; hardware heterogeneity is the only straggler source",
+        devices=_generic_fleet(),
+    )
+
+
+@register_scenario("flaky_edge")
+def flaky_edge() -> ScenarioSpec:
+    """Consumer edge devices: churn, dropouts, jitter, deadline + over-selection."""
+    return ScenarioSpec(
+        name="flaky_edge",
+        description="availability churn + mid-round dropouts; deadline with over-selection",
+        devices=_generic_fleet(compute_jitter=0.35, link_latency_s=0.05, link_jitter_s=0.2),
+        availability=AvailabilitySpec(kind="markov", p_drop=0.15, p_join=0.5),
+        dropout_rate=0.12,
+        deadline_factor=1.5,
+        over_selection=3,
+    )
+
+
+@register_scenario("diurnal")
+def diurnal() -> ScenarioSpec:
+    """Day/night duty cycles with per-client phase offsets."""
+    return ScenarioSpec(
+        name="diurnal",
+        description="devices follow a day/night duty cycle with per-client offsets",
+        devices=_generic_fleet(compute_jitter=0.10),
+        availability=AvailabilitySpec(kind="diurnal", period_rounds=12, on_fraction=0.6),
+    )
+
+
+@register_scenario("congested_network")
+def congested_network() -> ScenarioSpec:
+    """A starved server uplink: transfers queue for a few concurrent slots."""
+    return ScenarioSpec(
+        name="congested_network",
+        description="server serves 3 concurrent transfers; queueing creates stragglers",
+        devices=_generic_fleet(link_latency_s=0.1, link_jitter_s=0.5, bandwidth_scale=0.25),
+        network=NetworkSpec(server_concurrency=3),
+        deadline_factor=2.0,
+        over_selection=2,
+    )
+
+
+@register_scenario("battery_constrained")
+def battery_constrained() -> ScenarioSpec:
+    """Battery-powered sensors: training drains, idling recharges."""
+    return ScenarioSpec(
+        name="battery_constrained",
+        description="battery budgets: drained clients sit out rounds to recharge",
+        devices=_generic_fleet(compute_jitter=0.10),
+        battery=BatterySpec(
+            capacity_joules=400.0,
+            compute_watts=2.5,
+            transfer_joules_per_mb=0.5,
+            recharge_watts=1.0,
+            min_charge_fraction=0.10,
+            resume_charge_fraction=0.40,
+        ),
+        over_selection=1,
+    )
+
+
+@register_scenario("paper_testbed")
+def paper_testbed() -> ScenarioSpec:
+    """The paper's 17-device test-bed (§4.5, Table 5), no dynamics.
+
+    Device parameters mirror
+    :data:`repro.devices.testbed.TESTBED_DEVICE_SPECS` exactly; the
+    resulting static scenario reproduces the legacy
+    :class:`~repro.devices.testbed.TestbedSimulator` wall-clock numbers
+    bit-for-bit (asserted by the parity test-suite).
+    """
+    return ScenarioSpec(
+        name="paper_testbed",
+        description="the paper's 4xPi/10xNano/3xAGX test-bed; legacy-clock parity",
+        devices=tuple(
+            DeviceTemplate(
+                name=spec.name,
+                device_class=spec.device_class,
+                flops_per_second=spec.flops_per_second,
+                bandwidth_mbps=spec.bandwidth_mbps,
+                memory_gb=spec.memory_gb,
+                count=spec.count,
+            )
+            for spec in TESTBED_DEVICE_SPECS
+        ),
+    )

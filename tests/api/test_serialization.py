@@ -11,6 +11,7 @@ from repro.experiments.settings import ExperimentSetting
 NON_DEFAULT_CONFIGS = [
     LocalTrainingConfig(local_epochs=2, batch_size=16, learning_rate=0.05, momentum=0.9, max_batches_per_epoch=7),
     FederatedConfig(num_rounds=12, clients_per_round=3, eval_every=4, eval_batch_size=64, seed=9),
+    FederatedConfig(num_rounds=2, clients_per_round=2, scenario="flaky_edge"),
     ModelPoolConfig(models_per_level=2, level_width_ratios={"L": 1.0, "M": 0.5, "S": 0.3}, start_layers=(5, 3), min_start_layer=2),
     AdaptiveFLConfig(
         federated=FederatedConfig(num_rounds=4),
@@ -22,6 +23,7 @@ NON_DEFAULT_CONFIGS = [
     ExperimentSetting(dataset="cifar100", model="simple_cnn", distribution="dirichlet", alpha=0.3,
                       proportion="8:1:1", scale="ci", seed=3, executor="process", max_workers=4,
                       overrides={"num_rounds": 2}),
+    ExperimentSetting(model="simple_cnn", scale="ci", scenario="paper_testbed"),
 ]
 
 
@@ -57,6 +59,12 @@ class TestValidationStillApplies:
         payload["batch_size"] = -1
         with pytest.raises(ValueError, match="batch_size"):
             LocalTrainingConfig.from_dict(payload)
+
+    def test_unknown_scenario_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="registered"):
+            FederatedConfig(scenario="lunar_base")
+        with pytest.raises(ValueError, match="registered"):
+            ExperimentSetting(model="simple_cnn", scenario="lunar_base")
 
     def test_nested_pool_validation(self):
         payload = AdaptiveFLConfig().to_dict()

@@ -118,6 +118,64 @@ class TestExecutorSelection:
         assert spec.setting.max_workers == 2
 
 
+class TestScenarioSelection:
+    def test_with_scenario_bakes_into_prepared(self, ci_setting):
+        session = ExperimentSession(ci_setting).with_scenario("stable_lab")
+        assert session.prepared.federated_config.scenario == "stable_lab"
+        # the scenario's device mix drives the capacity profiles
+        classes = [profile.class_name for profile in session.prepared.profiles]
+        assert classes.count("weak") == 4 and classes.count("strong") == 3
+
+    def test_with_scenario_after_preparation_rejected(self, ci_setting):
+        session = ExperimentSession(ci_setting)
+        session.prepared  # materialise
+        with pytest.raises(RuntimeError, match="before"):
+            session.with_scenario("stable_lab")
+
+    def test_unknown_scenario_fails_at_setting_construction(self, ci_setting):
+        session = ExperimentSession(ci_setting)
+        with pytest.raises(ValueError, match="registered"):
+            session.with_scenario("lunar_base")
+
+    def test_scenario_run_records_fleet_accounting(self, ci_setting):
+        session = ExperimentSession(ci_setting).with_scenario("stable_lab")
+        result = session.run("heterofl")
+        record = result.history.records[0]
+        assert record.wall_clock_seconds is not None
+        assert record.bytes_down > 0
+        assert len(record.arrival_seconds) == len(record.selected_clients)
+
+    def test_cli_scenario_flag_recorded_in_spec(self, tmp_path):
+        rc = main(
+            [
+                "run", "--algorithm", "heterofl", "--scale", "ci", "--rounds", "1",
+                "--scenario", "stable_lab", "--quiet", "--output-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        spec = ExperimentSpec.load(tmp_path / "spec.json")
+        assert spec.setting.scenario == "stable_lab"
+        history = json.loads((tmp_path / "heterofl_history.json").read_text())
+        assert history["rounds"][0]["wall_clock_seconds"] is not None
+
+    def test_cli_unknown_scenario_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["run", "--scenario", "lunar_base", "--scale", "ci", "--output-dir", str(tmp_path)])
+        assert rc == 2
+        assert "registered" in capsys.readouterr().err
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stable_lab", "flaky_edge", "diurnal", "congested_network", "battery_constrained", "paper_testbed"):
+            assert name in out
+
+    def test_scenarios_names_only(self, capsys):
+        assert main(["scenarios", "--names"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "paper_testbed" in lines
+        assert all(" " not in line for line in lines)
+
+
 class TestCli:
     def test_run_writes_history_and_summary(self, tmp_path, capsys):
         rc = main(

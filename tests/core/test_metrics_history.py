@@ -112,3 +112,69 @@ class TestTrainingHistory:
         assert payload["algorithm"] == "demo"
         assert len(payload["rounds"]) == 3
         assert payload["rounds"][1]["full_accuracy"] == 0.4
+
+    def test_from_dict_reconstructs_records(self):
+        history = self.build_history()
+        rebuilt = TrainingHistory.from_dict(history.to_dict())
+        assert rebuilt.algorithm == history.algorithm
+        assert rebuilt.records == history.records
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = self.build_history().to_dict()
+        payload["extra"] = 1
+        with pytest.raises(ValueError, match="extra"):
+            TrainingHistory.from_dict(payload)
+        bad_round = self.build_history().to_dict()
+        bad_round["rounds"][0]["mystery"] = 2
+        with pytest.raises(ValueError, match="mystery"):
+            TrainingHistory.from_dict(bad_round)
+
+    def test_record_roundtrip_preserves_fleet_fields(self):
+        record = RoundRecord(
+            round_index=4,
+            dispatched=["L1", "S2"],
+            returned=["M1", "S2"],
+            selected_clients=[3, 1],
+            arrival_seconds=[12.5, None],
+            dropped_clients=[1],
+            deadline_seconds=20.0,
+            bytes_down=4096,
+            bytes_up=2048,
+            wall_clock_seconds=20.0,
+        )
+        assert RoundRecord.from_dict(record.to_dict()) == record
+        assert record.aggregated_clients == [3]
+
+    def test_record_round_key_aliases_round_index(self):
+        assert RoundRecord.from_dict({"round": 2}).round_index == 2
+        assert RoundRecord.from_dict({"round_index": 2}).round_index == 2
+        with pytest.raises(ValueError):
+            RoundRecord.from_dict({"round": 2, "round_index": 2})
+
+
+class TestElapsedTimeAccounting:
+    def test_elapsed_seconds_sums_all_rounds(self):
+        history = TrainingHistory("demo")
+        history.append(RoundRecord(round_index=0, wall_clock_seconds=5.0))
+        history.append(RoundRecord(round_index=1))  # untimed rounds count as zero
+        history.append(RoundRecord(round_index=2, wall_clock_seconds=2.5))
+        assert history.elapsed_seconds() == 7.5
+
+    def test_elapsed_seconds_without_clock_is_zero(self):
+        history = TrainingHistory("demo")
+        history.append(RoundRecord(round_index=0))
+        assert history.elapsed_seconds() == 0.0
+
+    def test_time_curve_skips_unevaluated_but_accumulates_their_time(self):
+        history = TrainingHistory("demo")
+        history.append(RoundRecord(round_index=0, wall_clock_seconds=4.0))
+        history.append(RoundRecord(round_index=1, wall_clock_seconds=6.0, full_accuracy=0.5, avg_accuracy=0.4))
+        seconds, values = history.time_curve("full")
+        assert seconds == [10.0]  # the unevaluated round's seconds still elapse
+        assert values == [0.5]
+
+    def test_total_dropped_counts_slots(self):
+        history = TrainingHistory("demo")
+        history.append(RoundRecord(round_index=0, dropped_clients=[1, 2]))
+        history.append(RoundRecord(round_index=1, dropped_clients=[7]))
+        assert history.total_dropped() == 3

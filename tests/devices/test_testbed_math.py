@@ -1,0 +1,82 @@
+"""Direct coverage of the test-bed round-time arithmetic (§4.5 clock).
+
+The formulas here are load-bearing twice over: the legacy testbed path
+uses them directly and the ``paper_testbed`` fleet scenario promises
+bit-identical reproductions of them, so each term is pinned explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.testbed import TESTBED_DEVICE_SPECS, TestbedSimulator
+from repro.devices.testbed import TestbedDeviceSpec as DeviceSpec  # alias: not a test class
+
+
+class TestDeviceSpecs:
+    def test_paper_mix(self):
+        counts = {spec.name: spec.count for spec in TESTBED_DEVICE_SPECS}
+        assert counts == {"raspberry_pi_4b": 4, "jetson_nano": 10, "jetson_xavier_agx": 3}
+        assert sum(counts.values()) == 17
+
+    def test_invalid_spec_values_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "weak", flops_per_second=0, bandwidth_mbps=1, memory_gb=1, count=1)
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "weak", flops_per_second=1, bandwidth_mbps=1, memory_gb=1, count=0)
+
+
+class TestRoundTimeMath:
+    def setup_method(self):
+        self.testbed = TestbedSimulator()
+
+    def test_communication_time_formula(self):
+        # client 0 is a Raspberry Pi: 40 Mbps.  1000 down + 500 up float32
+        # parameters = 6000 bytes = 48000 bits -> 48000 / 40e6 seconds.
+        expected = (1000 + 500) * 4 * 8 / (40.0 * 1e6)
+        assert self.testbed.communication_time(0, params_down=1000, params_up=500) == expected
+
+    def test_training_time_formula(self):
+        # client 0: 6e8 flops/s; backward pass multiplier 3.
+        expected = 3.0 * 2_000_000 * 30 * 2 / 6.0e8
+        assert self.testbed.training_time(0, flops_per_sample=2_000_000, num_samples=30, local_epochs=2) == expected
+
+    def test_client_round_time_is_comm_plus_compute(self):
+        comm = self.testbed.communication_time(5, 1000, 1000)
+        train = self.testbed.training_time(5, 100_000, 20, 1)
+        total = self.testbed.client_round_time(
+            5, params_down=1000, params_up=1000, flops_per_sample=100_000, num_samples=20, local_epochs=1
+        )
+        assert total == comm + train
+
+    def test_round_time_is_slowest_participant(self):
+        assert self.testbed.round_time([1.5, 9.25, 3.0]) == 9.25
+        assert self.testbed.round_time([]) == 0.0
+
+    def test_stronger_devices_are_faster(self):
+        # clients are laid out pi(0-3), nano(4-13), agx(14-16) before shuffling
+        args = dict(params_down=10_000, params_up=10_000, flops_per_sample=1_000_000, num_samples=50, local_epochs=1)
+        pi = self.testbed.client_round_time(0, **args)
+        nano = self.testbed.client_round_time(4, **args)
+        agx = self.testbed.client_round_time(16, **args)
+        assert pi > nano > agx
+
+    def test_profile_permutation_remaps_timing(self):
+        """After build_profiles(rng) timing must follow the shuffled spec order."""
+        testbed = TestbedSimulator()
+        rng = np.random.default_rng(3)
+        testbed.build_profiles(rng)
+        order = np.random.default_rng(3).permutation(testbed.num_devices)
+        args = dict(params_down=1000, params_up=1000, flops_per_sample=100_000, num_samples=10, local_epochs=1)
+        for client_id in range(testbed.num_devices):
+            spec = testbed.device_spec(int(order[client_id]))
+            expected = (1000 + 1000) * 4 * 8 / (spec.bandwidth_mbps * 1e6) + 3.0 * 100_000 * 10 * 1 / spec.flops_per_second
+            assert testbed.client_round_time(client_id, **args) == expected
+
+    def test_profiles_expose_the_device_mix(self):
+        profiles = self.testbed.build_profiles()
+        names = [profile.class_name for profile in profiles]
+        assert names.count("weak") == 4
+        assert names.count("medium") == 10
+        assert names.count("strong") == 3
+        # compute speeds are normalised to the strongest device
+        assert profiles[-1].device_class.compute_speed == 1.0

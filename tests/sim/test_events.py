@@ -1,0 +1,79 @@
+"""The discrete-event core: ordering, tie-breaking, cancellation, the gate."""
+
+import pytest
+
+from repro.sim.events import EventQueue, TransferGate
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda: fired.append("c"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(2.0, lambda: fired.append("b"))
+        end = queue.run()
+        assert fired == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_ties_break_fifo(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abcd":
+            queue.schedule(1.0, lambda label=label: fired.append(label))
+        queue.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_callbacks_schedule_relative_to_now(self):
+        queue = EventQueue()
+        times = []
+
+        def first():
+            queue.schedule(2.0, lambda: times.append(queue.now))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert times == [3.0]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda: fired.append("cancelled"))
+        queue.schedule(2.0, lambda: fired.append("kept"))
+        queue.cancel(event)
+        queue.run()
+        assert fired == ["kept"]
+        assert len(queue) == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-0.1, lambda: None)
+
+
+class TestTransferGate:
+    def test_unlimited_gate_starts_immediately(self):
+        gate = TransferGate(None)
+        started = []
+        for i in range(5):
+            gate.acquire(lambda i=i: started.append(i))
+        assert started == list(range(5))
+
+    def test_bounded_gate_queues_fifo(self):
+        gate = TransferGate(2)
+        started = []
+        for i in range(4):
+            gate.acquire(lambda i=i: started.append(i))
+        assert started == [0, 1]
+        gate.release()
+        assert started == [0, 1, 2]
+        assert gate.waiting == 1
+        gate.release()
+        assert started == [0, 1, 2, 3]
+
+    def test_release_without_acquire_errors(self):
+        with pytest.raises(RuntimeError):
+            TransferGate(1).release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TransferGate(0)
