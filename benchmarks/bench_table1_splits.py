@@ -7,7 +7,7 @@ within rounding.
 
 from repro.experiments import format_table, vgg16_table1_settings
 from repro.nn.models import SlimmableVGG
-from repro.nn.profiling import count_flops
+from repro.perf.flops import count_flops
 
 from common import once
 

@@ -20,7 +20,10 @@ Package layout:
 * ``repro.devices`` — device heterogeneity / resource-uncertainty models and
   the simulated real test-bed.
 * ``repro.engine`` — the parallel client-execution engine: serial, thread
-  and process executors with bit-identical, seed-stable results.
+  and process executors with bit-identical, seed-stable results, plus the
+  slice/delta weight transport with per-worker state caching.
+* ``repro.perf`` — the profiling + optimization layer: scoped timers and
+  counters (CLI ``--profile``), reusable kernel workspaces, FLOP counting.
 * ``repro.sim`` — the discrete-event AIoT fleet simulator: scenario
   registry (``@register_scenario``), availability/dropout/battery/network
   dynamics and deadline-aware aggregation accounting.
@@ -57,6 +60,11 @@ _EXPORTS: dict[str, str] = {
     "register_algorithm": "repro.api.registry",
     "get_algorithm": "repro.api.registry",
     "available_algorithms": "repro.api.registry",
+    # perf
+    "Profiler": "repro.perf.profiler",
+    "Workspace": "repro.perf.workspace",
+    "count_flops": "repro.perf.flops",
+    "count_params": "repro.perf.flops",
     # callbacks
     "Callback": "repro.api.callbacks",
     "ProgressCallback": "repro.api.callbacks",

@@ -40,6 +40,7 @@ from repro.api.spec import ExperimentSpec
 from repro.engine.factory import EXECUTOR_NAMES
 from repro.experiments.settings import DATASET_BUILDERS, ExperimentSetting
 from repro.experiments.reporting import format_table, render_accuracy_table
+from repro.perf.profiler import render_summary
 
 __all__ = ["main", "build_parser"]
 
@@ -79,6 +80,12 @@ def _add_setting_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="fleet scenario driving system dynamics (see `repro scenarios`)",
     )
+    group.add_argument(
+        "--transport",
+        default="delta",
+        choices=["delta", "full"],
+        help="weight transport: slice/delta (default) or legacy full-state shipping",
+    )
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -90,6 +97,11 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--patience", type=int, default=None, help="early-stop after N evaluations without improvement")
     group.add_argument("--budget-seconds", type=float, default=None, help="stop each run after a wall-clock budget")
     group.add_argument("--stream-history", action="store_true", help="also stream per-round JSONL next to the history")
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect repro.perf timers/counters per run; prints a summary and writes <algorithm>_profile.json",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +149,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         executor=args.executor,
         max_workers=args.max_workers,
         scenario=args.scenario,
+        transport=args.transport,
     )
 
 
@@ -177,6 +190,8 @@ def _session_from_args(args: argparse.Namespace) -> tuple[ExperimentSession, Exp
 
 
 def _attach_callbacks(session: ExperimentSession, args: argparse.Namespace) -> None:
+    if getattr(args, "profile", False):
+        session.with_profiling()
     if not args.quiet:
         session.with_callback(ProgressCallback())
     if args.patience is not None:
@@ -219,6 +234,11 @@ def _finish(session: ExperimentSession, spec: ExperimentSpec, args: argparse.Nam
     written = session.save_results(directory)
     spec.save(directory / "spec.json")
     print(render_accuracy_table(session.results, title=f"results ({directory})"))
+    if getattr(args, "profile", False):
+        for label, result in session.results.items():
+            if result.profile is not None:
+                print()
+                print(render_summary(result.profile, title=f"profile — {label}"))
     print("wrote:", ", ".join(str(path) for path in written))
     return 0
 

@@ -46,6 +46,7 @@ class ExperimentSession:
         self.results: dict[str, AlgorithmResult] = {}
         self._callbacks: list[Callback | Callable[[], Callback]] = []
         self._prepared: PreparedExperiment | None = None
+        self._profile = False
 
     @classmethod
     def from_spec(cls, spec: ExperimentSpec | str | Path, **kwargs) -> "ExperimentSession":
@@ -99,6 +100,14 @@ class ExperimentSession:
             self.spec = replace(self.spec, setting=self.setting)
         return self
 
+    # -- profiling --------------------------------------------------------------------
+    def with_profiling(self, enabled: bool = True) -> "ExperimentSession":
+        """Collect :mod:`repro.perf` profiles (timers + transport counters)
+        for every subsequent run; summaries land on
+        :attr:`AlgorithmResult.profile` and in ``<label>_profile.json``."""
+        self._profile = enabled
+        return self
+
     # -- callbacks --------------------------------------------------------------------
     def with_callback(self, callback: Callback | Callable[[], Callback]) -> "ExperimentSession":
         """Attach a callback instance or a zero-arg factory (builder style).
@@ -128,6 +137,7 @@ class ExperimentSession:
             num_rounds=num_rounds if num_rounds is not None else self._spec_rounds(),
             testbed=self.testbed,
             callbacks=self._callbacks + list(callbacks or []),
+            profile=self._profile,
         )
         self.results[result.algorithm] = result
         return result
@@ -164,6 +174,10 @@ class ExperimentSession:
             path = directory / f"{safe}_history.json"
             path.write_text(json.dumps(result.history.to_dict(), indent=2) + "\n", encoding="utf-8")
             written.append(path)
+            if result.profile is not None:
+                profile_path = directory / f"{safe}_profile.json"
+                profile_path.write_text(json.dumps(result.profile, indent=2) + "\n", encoding="utf-8")
+                written.append(profile_path)
             summary[label] = {
                 "full_accuracy": result.full_accuracy,
                 "avg_accuracy": result.avg_accuracy,

@@ -46,13 +46,20 @@ class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
         rng = self.round_rng(round_index)
         selected = self.sample_clients(rng, round_index)
 
+        # one published stream per level: each level keeps its own global model
+        handles = {
+            level: self.publish_state(state, stream=level)
+            for level, state in self.level_states.items()
+        }
         assignments = []
         levels: list[str] = []
         dispatched: list[str] = []
         for client_id in selected:
             level = self.client_level[client_id]
             config = self.level_heads[level]
-            assignments.append((client_id, self.pool.group_sizes(config), self.level_states[level]))
+            handle = handles[level]
+            source = handle if handle is not None else self.level_states[level]
+            assignments.append((client_id, self.pool.group_sizes(config), source))
             levels.append(level)
             dispatched.append(config.name)
 
@@ -62,7 +69,11 @@ class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
         per_level_updates: dict[str, list[ClientUpdate]] = {level: [] for level in self.level_states}
         losses: list[float] = []
         for i, result in zip(keep, results):
-            per_level_updates[levels[i]].append(ClientUpdate(result.state, result.num_samples))
+            level = levels[i]
+            state = self.decode_result_state(
+                result.state, self.pool.group_sizes(self.level_heads[level]), self.level_states[level]
+            )
+            per_level_updates[level].append(ClientUpdate(state, result.num_samples))
             losses.append(result.mean_loss)
 
         for level, updates in per_level_updates.items():
@@ -87,21 +98,29 @@ class DecoupledFL(RandomSelectionMixin, FederatedAlgorithm):
 
     def evaluate(self) -> tuple[float, dict[str, float]]:
         """Full = the L-level model; per-level heads use their own decoupled states."""
+        full_sizes = self.architecture.full_group_sizes()
         full_accuracy, _ = evaluate_state(
             self.architecture,
-            self.architecture.full_group_sizes(),
+            full_sizes,
             self.level_states["L"],
             self.test_dataset,
             batch_size=self.federated_config.eval_batch_size,
+            model_cache=self._eval_model_cache,
         )
         level_accuracies: dict[str, float] = {}
         for level, config in self.level_heads.items():
+            group_sizes = self.pool.group_sizes(config)
+            if group_sizes == full_sizes and level == "L":
+                # the L head evaluates the same state with the same sizes
+                level_accuracies[level] = full_accuracy
+                continue
             accuracy, _ = evaluate_state(
                 self.architecture,
-                self.pool.group_sizes(config),
+                group_sizes,
                 self.level_states[level],
                 self.test_dataset,
                 batch_size=self.federated_config.eval_batch_size,
+                model_cache=self._eval_model_cache,
             )
             level_accuracies[level] = accuracy
         return full_accuracy, level_accuracies

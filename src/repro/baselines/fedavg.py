@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.api.registry import register_algorithm
 from repro.baselines.base import RandomSelectionMixin
-from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
+from repro.core.aggregation import ClientUpdate
 from repro.core.fl_base import FederatedAlgorithm
 from repro.core.history import RoundRecord
 from repro.core.metrics import communication_waste_rate
@@ -40,15 +40,23 @@ class AllLargeFedAvg(RandomSelectionMixin, FederatedAlgorithm):
         outcome = self.plan_round_outcome(round_index, selected, dispatched, dispatched)
         keep = outcome.aggregated_positions() if outcome is not None else range(len(selected))
         aggregated = set(keep)
+        handle = self.publish_state(self.global_state)
+        source = handle if handle is not None else self.global_state
         results = self.run_local_training(
             round_index,
-            [(selected[i], full_sizes, self.global_state) for i in keep],
+            [(selected[i], full_sizes, source) for i in keep],
         )
-        updates = [ClientUpdate(result.state, result.num_samples) for result in results]
+        updates = [
+            ClientUpdate(
+                self.decode_result_state(result.state, full_sizes, self.global_state),
+                result.num_samples,
+            )
+            for result in results
+        ]
         losses = [result.mean_loss for result in results]
 
         if updates:
-            self.global_state = aggregate_heterogeneous(self.global_state, updates)
+            self.global_state = self.aggregate(updates)
         record = RoundRecord(
             round_index=round_index,
             train_loss=float(np.mean(losses)) if losses else None,

@@ -22,11 +22,10 @@ import numpy as np
 
 from repro.api.registry import register_algorithm
 from repro.baselines.base import RandomSelectionMixin, capacity_level_assignment
-from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
+from repro.core.aggregation import ClientUpdate
 from repro.core.fl_base import FederatedAlgorithm
 from repro.core.history import RoundRecord
 from repro.core.metrics import communication_waste_rate
-from repro.core.pruning import slice_state_dict
 from repro.nn.models.spec import SlimmableArchitecture, scaled_size
 
 __all__ = ["ScaleFL", "two_dimensional_group_sizes", "calibrate_width_ratio"]
@@ -133,23 +132,30 @@ class ScaleFL(RandomSelectionMixin, FederatedAlgorithm):
         rng = self.round_rng(round_index)
         selected = self.sample_clients(rng, round_index)
 
+        handle = self.publish_state(self.global_state)
         assignments = []
         dispatched: list[str] = []
         for client_id in selected:
             level = self.client_level[client_id]
             sizes = self.level_sizes[level]
-            initial_state = slice_state_dict(self.global_state, self.architecture, sizes)
-            assignments.append((client_id, sizes, initial_state))
+            source = self.state_source(handle, self.global_state, sizes)
+            assignments.append((client_id, sizes, source))
             dispatched.append(f"{level}1")
 
         outcome = self.plan_round_outcome(round_index, selected, dispatched, dispatched)
         keep = outcome.aggregated_positions() if outcome is not None else range(len(selected))
-        results = self.run_local_training(round_index, [assignments[i] for i in keep])
-        updates = [ClientUpdate(result.state, result.num_samples) for result in results]
+        kept = [assignments[i] for i in keep]
+        results = self.run_local_training(round_index, kept)
+        updates = [
+            ClientUpdate(
+                self.decode_result_state(result.state, sizes, self.global_state), result.num_samples
+            )
+            for (_, sizes, _), result in zip(kept, results)
+        ]
         losses = [result.mean_loss for result in results]
 
         if updates:
-            self.global_state = aggregate_heterogeneous(self.global_state, updates)
+            self.global_state = self.aggregate(updates)
         # dropped/late dispatches return nothing and count as pure waste
         aggregated = set(keep)
         sent = [self.level_params[self.client_level[c]] for c in selected]

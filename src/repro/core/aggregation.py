@@ -5,6 +5,19 @@ aggregation reduces to element-wise weighted averaging with per-element
 coverage bookkeeping: an element of the global model is replaced by the
 data-size-weighted mean of the uploads that contain it, and keeps its old
 value if no upload covers it (Algorithm 2, line 14).
+
+Aggregation is a per-round hot path, so the heavy lifting lives in
+:class:`HeterogeneousAggregator`, which owns reusable accumulation
+buffers (weighted sums, per-element weight totals, coverage masks and a
+scatter scratch) sized to the global state and zeroed — never
+reallocated — every round, plus a cache of the prefix-slice regions per
+upload shape.  The module-level :func:`aggregate_heterogeneous` keeps
+the historical one-shot API on top of a throwaway aggregator.
+
+All arithmetic preserves the dtype of the global state: a ``float32``
+training stack aggregates in ``float32`` end-to-end (no silent
+``float64`` promotion), while tests that feed ``float64`` states keep
+double precision.
 """
 
 from __future__ import annotations
@@ -14,7 +27,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["ClientUpdate", "aggregate_heterogeneous", "fedavg_aggregate"]
+__all__ = [
+    "ClientUpdate",
+    "HeterogeneousAggregator",
+    "aggregate_heterogeneous",
+    "fedavg_aggregate",
+]
 
 
 @dataclass
@@ -29,52 +47,98 @@ class ClientUpdate:
             raise ValueError("num_samples must be positive")
 
 
-def _accumulate(
-    target: np.ndarray,
-    weight_sum: np.ndarray,
-    update: np.ndarray,
-    weight: float,
-) -> None:
-    """Add a prefix-shaped update into the accumulators in place."""
-    region = tuple(slice(0, extent) for extent in update.shape)
-    target[region] += update * weight
-    weight_sum[region] += weight
+class HeterogeneousAggregator:
+    """Reusable-buffer engine for prefix-overlap weighted averaging.
+
+    One instance serves one global-state *signature* (names, shapes,
+    dtypes) — exactly the lifetime of a federated algorithm, which owns
+    one.  Buffers are allocated on first use and reused across rounds;
+    a change of shape or dtype for a name transparently reallocates.
+    """
+
+    def __init__(self) -> None:
+        # name -> (accumulator, weight_sum, scratch, coverage mask)
+        self._buffers: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        # (name, upload shape) -> prefix-slice region
+        self._regions: dict[tuple[str, tuple[int, ...]], tuple[slice, ...]] = {}
+
+    def _buffers_for(self, name: str, reference: np.ndarray):
+        cached = self._buffers.get(name)
+        if cached is None or cached[0].shape != reference.shape or cached[0].dtype != reference.dtype:
+            cached = (
+                np.zeros_like(reference),
+                np.zeros_like(reference),
+                np.empty_like(reference),
+                np.zeros(reference.shape, dtype=bool),
+            )
+            self._buffers[name] = cached
+        else:
+            cached[0].fill(0)
+            cached[1].fill(0)
+        return cached
+
+    def region_for(self, name: str, full_shape: tuple[int, ...], upload_shape: tuple[int, ...]) -> tuple[slice, ...]:
+        """The (cached) prefix region an upload of ``upload_shape`` covers."""
+        key = (name, upload_shape)
+        region = self._regions.get(key)
+        if region is None:
+            if len(upload_shape) != len(full_shape) or any(
+                extent > full for extent, full in zip(upload_shape, full_shape)
+            ):
+                raise ValueError(
+                    f"upload for {name!r} with shape {upload_shape} is not a prefix of {full_shape}"
+                )
+            region = tuple(slice(0, extent) for extent in upload_shape)
+            self._regions[key] = region
+        return region
+
+    def aggregate(
+        self,
+        global_state: Mapping[str, np.ndarray],
+        updates: Sequence[ClientUpdate],
+    ) -> dict[str, np.ndarray]:
+        """Aggregate heterogeneous submodel uploads into a new global state.
+
+        Every uploaded tensor must be a prefix block of the corresponding
+        global tensor (same number of axes, each extent no larger).
+        Elements not covered by any upload keep their previous value.
+        """
+        if not updates:
+            return {name: np.array(value, copy=True) for name, value in global_state.items()}
+
+        new_state: dict[str, np.ndarray] = {}
+        for name, old_value in global_state.items():
+            old_value = np.asarray(old_value)
+            accumulator, weight_sum, scratch, covered = self._buffers_for(name, old_value)
+            for update in updates:
+                tensor = update.state.get(name)
+                if tensor is None:
+                    continue
+                tensor = np.asarray(tensor)
+                region = self.region_for(name, old_value.shape, tensor.shape)
+                weight = float(update.num_samples)
+                # weighted accumulation without per-update temporaries
+                target = scratch[region]
+                np.multiply(tensor, weight, out=target, casting="unsafe")
+                accumulator[region] += target
+                weight_sum[region] += weight
+            np.greater(weight_sum, 0, out=covered)
+            merged = np.array(old_value, copy=True)
+            np.divide(accumulator, weight_sum, out=merged, where=covered)
+            new_state[name] = merged
+        return new_state
 
 
 def aggregate_heterogeneous(
     global_state: Mapping[str, np.ndarray],
     updates: Sequence[ClientUpdate],
 ) -> dict[str, np.ndarray]:
-    """Aggregate heterogeneous submodel uploads into a new global state.
+    """One-shot aggregation (see :class:`HeterogeneousAggregator`).
 
-    Every uploaded tensor must be a prefix block of the corresponding
-    global tensor (same number of axes, each extent no larger).  Elements
-    not covered by any upload keep their previous global value.
+    Algorithms hold a long-lived aggregator to reuse its buffers across
+    rounds; this function exists for tests and ad-hoc callers.
     """
-    if not updates:
-        return {name: np.array(value, copy=True) for name, value in global_state.items()}
-
-    new_state: dict[str, np.ndarray] = {}
-    for name, old_value in global_state.items():
-        old_value = np.asarray(old_value, dtype=np.float64)
-        accumulator = np.zeros_like(old_value)
-        weight_sum = np.zeros_like(old_value)
-        for update in updates:
-            if name not in update.state:
-                continue
-            tensor = np.asarray(update.state[name], dtype=np.float64)
-            if tensor.ndim != old_value.ndim or any(
-                extent > full for extent, full in zip(tensor.shape, old_value.shape)
-            ):
-                raise ValueError(
-                    f"upload for {name!r} with shape {tensor.shape} is not a prefix of {old_value.shape}"
-                )
-            _accumulate(accumulator, weight_sum, tensor, float(update.num_samples))
-        covered = weight_sum > 0
-        merged = np.array(old_value, copy=True)
-        merged[covered] = accumulator[covered] / weight_sum[covered]
-        new_state[name] = merged
-    return new_state
+    return HeterogeneousAggregator().aggregate(global_state, updates)
 
 
 def fedavg_aggregate(updates: Sequence[ClientUpdate]) -> dict[str, np.ndarray]:
@@ -85,11 +149,11 @@ def fedavg_aggregate(updates: Sequence[ClientUpdate]) -> dict[str, np.ndarray]:
     reference = updates[0].state
     merged: dict[str, np.ndarray] = {}
     for name, value in reference.items():
-        merged[name] = np.zeros_like(np.asarray(value, dtype=np.float64))
+        merged[name] = np.zeros_like(np.asarray(value))
     for update in updates:
         weight = update.num_samples / total
         for name, value in update.state.items():
-            tensor = np.asarray(value, dtype=np.float64)
+            tensor = np.asarray(value)
             if tensor.shape != merged[name].shape:
                 raise ValueError(
                     f"fedavg_aggregate requires homogeneous shapes; {name!r} differs "

@@ -19,6 +19,7 @@ from repro.core.model_pool import ModelPool, SubmodelConfig
 from repro.core.pruning import resource_aware_prune, slice_state_dict
 from repro.data.datasets import Dataset
 from repro.devices.profiles import DeviceProfile
+from repro.engine.transport import StateHandle
 
 __all__ = ["ClientRoundResult", "SimulatedClient"]
 
@@ -37,21 +38,36 @@ class ClientRoundResult:
 
 
 class SimulatedClient:
-    """One AIoT device participating in federated training."""
+    """One AIoT device participating in federated training.
+
+    ``dataset`` may be a published transport handle
+    (:class:`~repro.engine.transport.StateHandle`): it resolves lazily —
+    against the per-worker cache when the client was pickled to a worker
+    process, or to the in-process reference otherwise — so dispatching a
+    client never re-ships its local data.
+    """
 
     def __init__(
         self,
         client_id: int,
-        dataset: Dataset,
+        dataset: "Dataset | StateHandle",
         profile: DeviceProfile,
         local_config: LocalTrainingConfig,
     ):
-        if len(dataset) == 0:
+        if not isinstance(dataset, StateHandle) and len(dataset) == 0:
             raise ValueError(f"client {client_id} has no local data")
         self.client_id = client_id
-        self.dataset = dataset
+        self._dataset = dataset
         self.profile = profile
         self.local_config = local_config
+
+    @property
+    def dataset(self) -> Dataset:
+        if isinstance(self._dataset, StateHandle):
+            self._dataset = self._dataset.load()
+            if len(self._dataset) == 0:
+                raise ValueError(f"client {self.client_id} has no local data")
+        return self._dataset
 
     @property
     def num_samples(self) -> int:

@@ -70,6 +70,12 @@ class FederatedConfig:
     #: registered fleet scenario driving system dynamics (None = no simulation);
     #: see :mod:`repro.sim` — "paper_testbed" reproduces the legacy test-bed clock
     scenario: str | None = None
+    #: weight transport between server and client workers: "delta" publishes
+    #: the global state once per round (version tag + per-worker cache),
+    #: ships each client only the submodel slice it trains and returns
+    #: bit-exact XOR deltas; "full" is the legacy per-task weight shipping.
+    #: Both produce bit-identical results (see tests/perf).
+    transport: str = "delta"
 
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
@@ -78,6 +84,8 @@ class FederatedConfig:
             raise ValueError("clients_per_round must be positive")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+        if self.transport not in {"delta", "full"}:
+            raise ValueError("transport must be 'delta' or 'full'")
         validate_executor_choice(self.executor, self.max_workers)
         if self.scenario is not None:
             # imported inside the method: repro.sim.scenario imports

@@ -31,23 +31,29 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.api.callbacks import Callback, CallbackList, ProgressCallback
+from repro.core.aggregation import ClientUpdate, HeterogeneousAggregator
 from repro.core.config import FederatedConfig, LocalTrainingConfig, ModelPoolConfig
 from repro.core.client import SimulatedClient
 from repro.core.history import RoundRecord, TrainingHistory
 from repro.core.local_training import LocalTrainingResult
 from repro.core.metrics import evaluate_state
+from repro.core.pruning import slice_state_dict
 from repro.engine.base import Executor
 from repro.engine.factory import create_executor
 from repro.engine.rng import client_stream
 from repro.engine.tasks import ClientTask, TrainSubmodelTask
+from repro.engine.transport import StateHandle, StateStore, decode_upload, state_nbytes
+from repro.perf.profiler import Profiler
+from repro.perf.workspace import reset_workspace_stats, workspace_stats
 from repro.core.model_pool import ModelPool
 from repro.data.datasets import Dataset
 from repro.data.partition import ClientPartition
 from repro.devices.profiles import DeviceProfile
 from repro.devices.resources import ResourceModel
 from repro.devices.testbed import TestbedSimulator
+from repro.nn.dtype import resolve_dtype
 from repro.nn.models.spec import SlimmableArchitecture
-from repro.nn.profiling import count_flops
+from repro.perf.flops import count_flops
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # imported lazily at runtime: repro.sim.scenario pulls in
@@ -135,6 +141,19 @@ class FederatedAlgorithm(ABC):
         self._executor: Executor | None = None
         self._owns_executor = False
         self._flops_cache: dict[str, int] = {}
+        #: phase-grained scoped timers + transport/workspace counters
+        #: (disabled unless run(profile=True) / CLI --profile enables it)
+        self.profiler = Profiler(enabled=False)
+        #: reused accumulation buffers for heterogeneous aggregation
+        self._aggregator = HeterogeneousAggregator()
+        #: one publisher per logical weight stream (slice/delta transport)
+        self._state_stores: dict[str, StateStore] = {}
+        #: one-time published per-client datasets (delta transport): workers
+        #: cache them across rounds, so dispatching never re-ships data
+        self._dataset_handles: dict[int, StateHandle] = {}
+        #: built eval networks per group-size configuration (weights are
+        #: reloaded per evaluation; construction happens once)
+        self._eval_model_cache: dict = {}
         #: total rounds of the active run() (read by progress callbacks)
         self.planned_rounds: int | None = None
         self._stop_reason: str | None = None
@@ -196,6 +215,10 @@ class FederatedAlgorithm(ABC):
             self._executor.shutdown()
             self._executor = None
             self._owns_executor = False
+        for store in self._state_stores.values():
+            store.close()
+        # spill files are gone: force a fresh publish on the next run
+        self._dataset_handles.clear()
 
     def execute_client_tasks(self, tasks: Sequence[ClientTask]) -> list:
         """Fan per-client tasks out through the executor (order-preserving)."""
@@ -204,27 +227,160 @@ class FederatedAlgorithm(ABC):
     def run_local_training(
         self,
         round_index: int,
-        assignments: Sequence[tuple[int, Mapping[str, int], Mapping[str, np.ndarray]]],
+        assignments: Sequence[tuple[int, Mapping[str, int], "Mapping[str, np.ndarray] | StateHandle"]],
     ) -> list[LocalTrainingResult]:
-        """Train one submodel per ``(client_id, group_sizes, initial_state)``.
+        """Train one submodel per ``(client_id, group_sizes, state_source)``.
 
         The common client loop of every baseline: each assignment becomes an
         independent :class:`~repro.engine.tasks.TrainSubmodelTask` with its
-        own RNG stream, and results come back in assignment order.
+        own RNG stream, and results come back in assignment order.  The
+        state source is either a pre-cut slice (legacy "full" transport)
+        or a :class:`~repro.engine.transport.StateHandle` — then the
+        worker cuts the slice locally and uploads a bit-exact delta.
         """
-        tasks = [
-            TrainSubmodelTask(
-                architecture=self.architecture,
-                group_sizes=group_sizes,
-                initial_state=initial_state,
-                dataset=self.clients[client_id].dataset,
-                local_config=self.local_config,
-                client_id=client_id,
-                rng_stream=self.client_stream(round_index, client_id),
+        tasks = []
+        for client_id, group_sizes, state_source in assignments:
+            is_handle = isinstance(state_source, StateHandle)
+            if self.profiler.enabled:
+                if is_handle:
+                    self.count_downlink(group_sizes=group_sizes)
+                else:
+                    self.count_downlink(actual_bytes=state_nbytes(state_source))
+            tasks.append(
+                TrainSubmodelTask(
+                    architecture=self.architecture,
+                    group_sizes=group_sizes,
+                    initial_state=state_source,
+                    dataset=self.client_dataset_source(client_id),
+                    local_config=self.local_config,
+                    client_id=client_id,
+                    rng_stream=self.client_stream(round_index, client_id),
+                    delta_upload=is_handle,
+                )
             )
-            for client_id, group_sizes, initial_state in assignments
-        ]
-        return self.execute_client_tasks(tasks)
+        with self.profiler.scope("round.training"):
+            return self.execute_client_tasks(tasks)
+
+    # -- weight transport (repro.engine.transport) ---------------------------------------
+    @property
+    def uses_delta_transport(self) -> bool:
+        """True under the slice/delta transport (``federated_config.transport``)."""
+        return self.federated_config.transport == "delta"
+
+    def publish_state(
+        self, state: Mapping[str, np.ndarray], stream: str = "global"
+    ) -> StateHandle | None:
+        """Publish this round's weights for the client tasks (delta mode).
+
+        Returns ``None`` under legacy "full" transport — callers then ship
+        pre-cut slices inside the tasks instead.
+        """
+        if not self.uses_delta_transport:
+            return None
+        store = self._state_stores.get(stream)
+        if store is None:
+            store = self._state_stores[stream] = StateStore(label=f"{self.name}-{stream}")
+        handle = store.publish(state, spill=self.executor.is_interprocess)
+        if self.profiler.enabled:
+            self.profiler.count("transport.publishes")
+            if handle.path is not None:
+                self.profiler.count("transport.spilled_bytes", state_nbytes(state))
+        return handle
+
+    def state_source(
+        self,
+        handle: StateHandle | None,
+        state: Mapping[str, np.ndarray],
+        group_sizes: Mapping[str, int],
+    ) -> "Mapping[str, np.ndarray] | StateHandle":
+        """What a task carries: the published handle, or a pre-cut slice."""
+        if handle is not None:
+            return handle
+        return slice_state_dict(state, self.architecture, dict(group_sizes))
+
+    def count_downlink(
+        self,
+        group_sizes: Mapping[str, int] | None = None,
+        num_params: int | None = None,
+        actual_bytes: int | None = None,
+    ) -> None:
+        """Account one client's downlink on the profiler.
+
+        ``transport.bytes_down`` is the *modeled* downlink — the submodel
+        slice the client receives — in both transport modes, so the
+        counter stays comparable between "full" (where it also equals the
+        pickled payload) and "delta" (where the wire carries only a tiny
+        handle; the modeled slice is what a real deployment would send).
+        Under delta transport the size is derived from the slice's
+        parameter count (batch-norm statistics excluded).
+        """
+        if not self.profiler.enabled:
+            return
+        if actual_bytes is None:
+            if num_params is None:
+                num_params = self.architecture.parameter_count(dict(group_sizes))
+            actual_bytes = num_params * np.dtype(resolve_dtype()).itemsize
+        self.profiler.count("transport.bytes_down", actual_bytes)
+
+    def decode_result_state(
+        self,
+        uploaded,
+        group_sizes: Mapping[str, int],
+        source_state: Mapping[str, np.ndarray],
+    ) -> Mapping[str, np.ndarray]:
+        """Resolve an upload (raw weights or XOR delta) into plain weights."""
+        if isinstance(uploaded, Mapping):
+            if self.profiler.enabled:
+                self.profiler.count("transport.bytes_up", state_nbytes(uploaded))
+            return uploaded
+        if self.profiler.enabled:
+            self.profiler.count("transport.bytes_up", uploaded.nbytes)
+        reference = slice_state_dict(source_state, self.architecture, dict(group_sizes))
+        return decode_upload(uploaded, reference)
+
+    def aggregate(self, updates: "Sequence[ClientUpdate]") -> dict[str, np.ndarray]:
+        """Heterogeneous aggregation into reused accumulation buffers."""
+        with self.profiler.scope("round.aggregate"):
+            return self._aggregator.aggregate(self.global_state, updates)
+
+    def client_dataset_source(self, client_id: int) -> "Dataset | StateHandle":
+        """The dataset reference a client task should carry.
+
+        Under delta transport each client's local data is published once
+        and referenced by handle ever after (workers cache it across
+        rounds); legacy transport ships the dataset inside every task.
+        """
+        if not self.uses_delta_transport:
+            return self.clients[client_id].dataset
+        spill = self.executor.is_interprocess
+        handle = self._dataset_handles.get(client_id)
+        if handle is None or (spill and handle.path is None):
+            stream = f"dataset-{client_id}"
+            store = self._state_stores.get(stream)
+            if store is None:
+                store = self._state_stores[stream] = StateStore(label=f"{self.name}-{stream}")
+            handle = store.publish(self.clients[client_id].dataset, spill=spill)
+            self._dataset_handles[client_id] = handle
+            if self.profiler.enabled and spill:
+                self.profiler.count("transport.dataset_spills")
+        return handle
+
+    def dispatch_client(self, client_id: int) -> SimulatedClient:
+        """The client object a :class:`LocalRoundTask` should carry.
+
+        Identical to ``self.clients[client_id]`` except that, under delta
+        transport, its dataset is the published handle — a dispatched
+        client pickles in bytes, not megabytes.
+        """
+        source = self.client_dataset_source(client_id)
+        if source is self.clients[client_id].dataset:
+            return self.clients[client_id]
+        return SimulatedClient(
+            client_id=client_id,
+            dataset=source,
+            profile=self.profiles[client_id],
+            local_config=self.local_config,
+        )
 
     def client_capacity(self, client_id: int, round_index: int) -> float:
         """The client's available resources this round.
@@ -355,21 +511,29 @@ class FederatedAlgorithm(ABC):
     # -- evaluation -----------------------------------------------------------------------
     def evaluate(self) -> tuple[float, dict[str, float]]:
         """Accuracy of the full global model and of the per-level heads."""
+        full_sizes = self.architecture.full_group_sizes()
         full_accuracy, _ = evaluate_state(
             self.architecture,
-            self.architecture.full_group_sizes(),
+            full_sizes,
             self.global_state,
             self.test_dataset,
             batch_size=self.federated_config.eval_batch_size,
+            model_cache=self._eval_model_cache,
         )
         level_accuracies: dict[str, float] = {}
         for level, group_sizes in self.level_group_sizes().items():
+            if group_sizes == full_sizes:
+                # the L-level head *is* the unpruned model — same weights,
+                # same data, same deterministic forward: reuse the result
+                level_accuracies[level] = full_accuracy
+                continue
             accuracy, _ = evaluate_state(
                 self.architecture,
                 group_sizes,
                 self.global_state,
                 self.test_dataset,
                 batch_size=self.federated_config.eval_batch_size,
+                model_cache=self._eval_model_cache,
             )
             level_accuracies[level] = accuracy
         return full_accuracy, level_accuracies
@@ -396,6 +560,7 @@ class FederatedAlgorithm(ABC):
         num_rounds: int | None = None,
         callbacks: Iterable[Callback] | None = None,
         progress: bool = False,
+        profile: bool = False,
     ) -> TrainingHistory:
         """Run the federated loop, evaluating every ``eval_every`` rounds.
 
@@ -410,7 +575,22 @@ class FederatedAlgorithm(ABC):
         before ``on_fit_end``, so the history always ends with an evaluated
         record.  ``progress=True`` is shorthand for appending a
         :class:`~repro.api.callbacks.ProgressCallback`.
+
+        ``profile=True`` turns on the :class:`repro.perf.profiler.Profiler`
+        attached as :attr:`profiler` — phase-grained scoped timers (round,
+        training fan-out, aggregation, evaluation) plus transport and
+        workspace counters, reset at the start of the run and readable
+        afterwards via ``profiler.summary()`` / ``profiler.render()``.
+
+        Caveat: the ``workspace.buffer_*`` counters are collected from
+        *this* process only — under the process executor the training
+        kernels run in workers whose counters do not propagate back, so
+        those two counters then reflect evaluation-side reuse only.
         """
+        self.profiler.enabled = profile
+        if profile:
+            self.profiler.reset()
+            reset_workspace_stats()
         callback_list = CallbackList(callbacks)
         if progress:
             callback_list.append(ProgressCallback())
@@ -421,12 +601,14 @@ class FederatedAlgorithm(ABC):
         try:
             for round_index in range(start, start + rounds):
                 callback_list.on_round_start(self, round_index)
-                record = self.run_round(round_index)
+                with self.profiler.scope("round"):
+                    record = self.run_round(round_index)
                 should_eval = ((round_index + 1) % self.federated_config.eval_every == 0) or (
                     round_index == start + rounds - 1
                 )
                 if should_eval:
-                    self._record_evaluation(record)
+                    with self.profiler.scope("evaluate"):
+                        self._record_evaluation(record)
                 self.history.append(record)
                 if should_eval:
                     callback_list.on_evaluate(self, record)
@@ -442,5 +624,9 @@ class FederatedAlgorithm(ABC):
             # release worker pools between runs; a later run() or run_round()
             # lazily rebuilds the executor from the same config
             self.close()
+        if self.profiler.enabled:
+            stats = workspace_stats()
+            self.profiler.set_counter("workspace.buffer_hits", stats["hits"])
+            self.profiler.set_counter("workspace.buffer_misses", stats["misses"])
         callback_list.on_fit_end(self, self.history)
         return self.history

@@ -38,19 +38,31 @@ def evaluate_state(
     state: Mapping[str, np.ndarray],
     dataset: Dataset,
     batch_size: int = 200,
+    model_cache: dict | None = None,
 ) -> tuple[float, float]:
     """Evaluate a state dict by building the matching submodel first.
 
     ``state`` may be the full global state dict (it is sliced down) or an
-    already-sliced submodel state dict.
+    already-sliced submodel state dict.  ``model_cache`` (keyed by the
+    group-size configuration) lets repeated evaluations of the same
+    submodel shapes — every round's full + per-level-head accuracies —
+    reuse one built network and only reload weights, skipping the
+    construction and weight-initialisation cost.
     """
     from repro.core.pruning import slice_state_dict  # local import to avoid a cycle
 
-    model = architecture.build(group_sizes, rng=np.random.default_rng(0))
-    expected = model.state_dict()
-    already_sliced = all(np.asarray(state[name]).shape == value.shape for name, value in expected.items())
+    if model_cache is not None:
+        cache_key = tuple(sorted(group_sizes.items()))
+        model = model_cache.get(cache_key)
+        if model is None:
+            model = model_cache[cache_key] = architecture.build(group_sizes, rng=np.random.default_rng(0))
+    else:
+        model = architecture.build(group_sizes, rng=np.random.default_rng(0))
+    shapes = {name: param.data.shape for name, param in model.named_parameters()}
+    shapes.update({name: buf.shape for name, buf in model.named_buffers()})
+    already_sliced = all(np.asarray(state[name]).shape == shape for name, shape in shapes.items())
     if already_sliced:
-        candidate = {name: np.asarray(state[name]) for name in expected}
+        candidate = {name: np.asarray(state[name]) for name in shapes}
     else:
         candidate = slice_state_dict(state, architecture, group_sizes)
     model.load_state_dict(candidate)

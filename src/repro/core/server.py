@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.registry import register_algorithm
-from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous
+from repro.core.aggregation import ClientUpdate
 from repro.core.client import ClientRoundResult
 from repro.core.config import AdaptiveFLConfig
 from repro.core.fl_base import FederatedAlgorithm
@@ -117,18 +117,36 @@ class AdaptiveFL(FederatedAlgorithm):
         outcome = self.plan_round_outcome(round_index, selected, dispatched_names, returned_names)
         keep = list(outcome.aggregated_positions()) if outcome is not None else list(range(participants))
 
+        # slice/delta transport: publish the global state once; each task
+        # carries only a handle plus the *planned-return* configuration, so
+        # the worker cuts exactly the slice the device trains.  Legacy
+        # "full" transport ships the dispatched slice inside the task.
+        handle = self.publish_state(self.global_state)
         tasks = [
             LocalRoundTask(
-                client=self.clients[selected[i]],
+                client=self.dispatch_client(selected[i]),
                 pool=self.pool,
                 dispatched=dispatched_configs[i],
-                dispatched_state=extract_submodel_state(self.global_state, self.pool, dispatched_configs[i]),
+                dispatched_state=(
+                    handle
+                    if handle is not None
+                    else extract_submodel_state(self.global_state, self.pool, dispatched_configs[i])
+                ),
                 available_capacity=capacities[i],
                 rng_stream=self.client_stream(round_index, selected[i]),
+                planned_return=planned_returns[i] if handle is not None else None,
+                delta_upload=handle is not None,
             )
             for i in keep
         ]
-        results: list[ClientRoundResult] = self.execute_client_tasks(tasks)
+        if self.profiler.enabled:
+            for i in keep:
+                # modeled downlink: the slice the device trains (delta mode)
+                # or the dispatched slice it receives (full mode)
+                config = planned_returns[i] if handle is not None else dispatched_configs[i]
+                self.count_downlink(num_params=config.num_params)
+        with self.profiler.scope("round.training"):
+            results: list[ClientRoundResult] = self.execute_client_tasks(tasks)
         for i, result in zip(keep, results):
             if result.returned.name != planned_returns[i].name:  # pragma: no cover - invariant
                 raise RuntimeError(
@@ -136,9 +154,17 @@ class AdaptiveFL(FederatedAlgorithm):
                     f"resource plan predicted {planned_returns[i].name}"
                 )
 
-        updates = [ClientUpdate(result.state, result.num_samples) for result in results]
+        updates = [
+            ClientUpdate(
+                self.decode_result_state(
+                    result.state, self.pool.group_sizes(result.returned), self.global_state
+                ),
+                result.num_samples,
+            )
+            for result in results
+        ]
         if updates:
-            self.global_state = aggregate_heterogeneous(self.global_state, updates)
+            self.global_state = self.aggregate(updates)
 
         # waste counts every dispatch: a dropped/late client's downlinked model
         # returns nothing, which is exactly the waste the paper's §4.4 rate measures

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
+
 __all__ = [
     "Dataset",
     "SyntheticTaskConfig",
@@ -43,7 +45,7 @@ class Dataset:
     """
 
     def __init__(self, images: np.ndarray, labels: np.ndarray, num_classes: int, groups: np.ndarray | None = None):
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=resolve_dtype())
         labels = np.asarray(labels, dtype=np.int64)
         if images.ndim != 4:
             raise ValueError(f"images must be NCHW, got shape {images.shape}")

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
+
 __all__ = ["normalize", "add_gaussian_noise", "random_crop_shift"]
 
 
 def normalize(images: np.ndarray, mean: float | None = None, std: float | None = None) -> np.ndarray:
     """Standardise images to zero mean / unit variance (or given statistics)."""
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=resolve_dtype())
     mean = float(images.mean()) if mean is None else mean
     std = float(images.std()) if std is None else std
     if std <= 0:
@@ -23,7 +25,8 @@ def add_gaussian_noise(images: np.ndarray, std: float, rng: np.random.Generator)
         raise ValueError("std must be non-negative")
     if std == 0:
         return images.copy()
-    return images + std * rng.normal(size=images.shape)
+    # the float64 noise draw must not promote a float32 image stack
+    return (images + std * rng.normal(size=images.shape)).astype(images.dtype, copy=False)
 
 
 def random_crop_shift(images: np.ndarray, max_shift: int, rng: np.random.Generator) -> np.ndarray:

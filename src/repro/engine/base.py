@@ -46,6 +46,10 @@ class Executor(ABC):
     #: registry name of the implementation ("serial", "thread", "process")
     name: str = "executor"
 
+    #: True when tasks cross a process boundary (results are pickled); the
+    #: transport layer spills published state to disk only in that case
+    is_interprocess: bool = False
+
     def __init__(self, max_workers: int | None = None):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive when set")

@@ -21,6 +21,7 @@ class ProcessExecutor(Executor):
     """Fans tasks out over a reusable :class:`ProcessPoolExecutor`."""
 
     name = "process"
+    is_interprocess = True
 
     def __init__(self, max_workers: int | None = None):
         super().__init__(max_workers)

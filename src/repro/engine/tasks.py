@@ -7,12 +7,20 @@ pickled to a worker process.  Tasks are pure: they read only their own
 fields, mutate nothing shared, and derive all randomness from their
 ``rng_stream``, which is what guarantees bit-identical results across
 executors and worker counts.
+
+Weight transport (see :mod:`repro.engine.transport`): ``initial_state``/
+``dispatched_state`` may be either a plain mapping (legacy "full" mode:
+the slice travels inside the task) or a :class:`StateHandle` — the
+worker resolves the handle against its per-process cache of the
+published global state and cuts the submodel slice locally, so the task
+payload stays tiny.  With ``delta_upload`` the trained weights return as
+a bit-exact XOR :class:`StateDelta` against the received slice.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Any, Mapping
 
 import numpy as np
@@ -21,10 +29,28 @@ from repro.core.client import ClientRoundResult, SimulatedClient
 from repro.core.config import LocalTrainingConfig
 from repro.core.local_training import LocalTrainingResult, train_local_model
 from repro.core.model_pool import ModelPool, SubmodelConfig
+from repro.core.pruning import slice_state_dict
 from repro.data.datasets import Dataset
+from repro.engine.transport import StateHandle, encode_state_delta
 from repro.nn.models.spec import SlimmableArchitecture
 
 __all__ = ["ClientTask", "LocalRoundTask", "TrainSubmodelTask"]
+
+
+def _resolve_state(
+    source: "Mapping[str, np.ndarray] | StateHandle",
+    architecture: SlimmableArchitecture,
+    group_sizes: Mapping[str, int],
+) -> Mapping[str, np.ndarray]:
+    """Materialise the submodel slice a task trains.
+
+    A :class:`StateHandle` resolves to the worker-cached global state and
+    is sliced here (worker-side); a plain mapping is the pre-sliced
+    legacy payload and passes through untouched.
+    """
+    if isinstance(source, StateHandle):
+        return slice_state_dict(source.load(), architecture, dict(group_sizes))
+    return source
 
 
 class ClientTask(ABC):
@@ -47,26 +73,46 @@ class LocalRoundTask(ClientTask):
     """AdaptiveFL's full client round: adapt (prune) then train (Algorithm 1).
 
     The device-side resource adaptation runs inside the task, exactly as it
-    would on a real client; the server only planned the dispatch.
+    would on a real client; the server only planned the dispatch.  Under
+    slice transport the task carries only the *planned-return*
+    configuration's slice (the weights the device actually trains — a
+    prefix of the dispatched model, so slicing the global state directly
+    to it is value-identical to pruning the dispatched slice on device).
     """
 
     client: SimulatedClient
     pool: ModelPool
     dispatched: SubmodelConfig
-    dispatched_state: Mapping[str, np.ndarray]
+    dispatched_state: "Mapping[str, np.ndarray] | StateHandle"
     available_capacity: float
     # required on purpose: an OS-entropy default would silently break the
     # engine's determinism guarantee
     rng_stream: np.random.SeedSequence
+    #: the submodel the resource plan predicts the device trains; used to
+    #: cut the slice worker-side when ``dispatched_state`` is a handle
+    planned_return: SubmodelConfig | None = None
+    delta_upload: bool = False
 
     def run(self) -> ClientRoundResult:
-        return self.client.local_round(
+        slice_config = self.planned_return if self.planned_return is not None else self.dispatched
+        initial_state = _resolve_state(
+            self.dispatched_state, self.pool.architecture, self.pool.group_sizes(slice_config)
+        )
+        result = self.client.local_round(
             pool=self.pool,
             dispatched=self.dispatched,
-            dispatched_state=self.dispatched_state,
+            dispatched_state=initial_state,
             available_capacity=self.available_capacity,
             rng=self.rng(),
         )
+        if self.delta_upload:
+            reference = initial_state
+            if result.returned.name != slice_config.name:  # pragma: no cover - plan invariant
+                reference = slice_state_dict(
+                    dict(initial_state), self.pool.architecture, self.pool.group_sizes(result.returned)
+                )
+            result.state = encode_state_delta(result.state, reference)
+        return result
 
 
 @dataclass
@@ -75,18 +121,24 @@ class TrainSubmodelTask(ClientTask):
 
     architecture: SlimmableArchitecture
     group_sizes: Mapping[str, int]
-    initial_state: Mapping[str, np.ndarray]
-    dataset: Dataset
+    initial_state: "Mapping[str, np.ndarray] | StateHandle"
+    dataset: "Dataset | StateHandle"
     local_config: LocalTrainingConfig
     rng_stream: np.random.SeedSequence
     client_id: int = -1
+    delta_upload: bool = False
 
     def run(self) -> LocalTrainingResult:
-        return train_local_model(
+        initial_state = _resolve_state(self.initial_state, self.architecture, self.group_sizes)
+        dataset = self.dataset.load() if isinstance(self.dataset, StateHandle) else self.dataset
+        result = train_local_model(
             architecture=self.architecture,
             group_sizes=self.group_sizes,
-            initial_state=self.initial_state,
-            dataset=self.dataset,
+            initial_state=initial_state,
+            dataset=dataset,
             config=self.local_config,
             rng=self.rng(),
         )
+        if self.delta_upload:
+            result = dataclass_replace(result, state=encode_state_delta(result.state, initial_state))
+        return result

@@ -1,0 +1,245 @@
+"""Slice/delta weight transport between the server and client workers.
+
+Historically every client task carried a full copy of its submodel
+weights and returned the trained weights whole — for the process
+executor that meant pickling (and unpickling) the model state once per
+task per round.  This module replaces both directions:
+
+* **Download** — the server :meth:`publishes <StateStore.publish>` the
+  global state once per round under a monotonically increasing version
+  tag.  Tasks carry only a tiny :class:`StateHandle`; each worker
+  process resolves the handle against a per-process cache, paying the
+  deserialisation cost once per (store, version) instead of once per
+  task, and then cuts the submodel slice *it trains* locally.  For
+  in-process executors (serial/thread) the handle resolves to the
+  published dict itself — zero copies.
+* **Upload** — clients return a :class:`StateDelta` against the slice
+  they received instead of raw weights.  The delta is a *bitwise* XOR
+  of the IEEE-754 payloads, so the server's reconstruction
+  (``reference XOR delta``) is exact to the last bit — arithmetic
+  deltas (``trained - received``) cannot guarantee that, and the
+  engine's contract is bit-identical histories for every transport and
+  executor choice.  Tensors the client never touched XOR to all-zero
+  blocks, which collapse under any downstream compression.
+
+The server reconstructs uploads with :func:`decode_upload` against the
+same slice of the global state it published — slicing is exact, so the
+round trip is lossless by construction (property-tested in
+``tests/perf``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "StateStore",
+    "StateHandle",
+    "StateDelta",
+    "encode_state_delta",
+    "apply_state_delta",
+    "decode_upload",
+    "state_nbytes",
+]
+
+#: per-worker-process LRU cache: store id -> (version, state).  Only the
+#: latest version of each store is retained, and at most
+#: ``_WORKER_CACHE_MAX_STREAMS`` distinct streams (global-model streams
+#: plus per-client dataset streams) stay resident — an evicted stream
+#: transparently reloads from its spill file on next use, so worker
+#: memory stays bounded even for fleets with many more clients than this.
+_WORKER_CACHE_MAX_STREAMS = 64
+_WORKER_STATE_CACHE: "OrderedDict[str, tuple[int, Mapping[str, np.ndarray]]]" = OrderedDict()
+
+
+def _cache_put(store_id: str, version: int, state) -> None:
+    _WORKER_STATE_CACHE[store_id] = (version, state)
+    _WORKER_STATE_CACHE.move_to_end(store_id)
+    while len(_WORKER_STATE_CACHE) > _WORKER_CACHE_MAX_STREAMS:
+        _WORKER_STATE_CACHE.popitem(last=False)
+
+
+def state_nbytes(state: Mapping[str, np.ndarray]) -> int:
+    """Total payload bytes of a state dict (transport accounting)."""
+    return int(sum(np.asarray(value).nbytes for value in state.values()))
+
+
+@dataclass(frozen=True)
+class StateHandle:
+    """A picklable reference to one published version of a state dict.
+
+    ``path`` is set when the owning store spilled the state for
+    inter-process transport; the in-process reference (``_inline``)
+    never crosses a pickle boundary.
+    """
+
+    store_id: str
+    version: int
+    path: str | None = None
+    _inline: Mapping[str, np.ndarray] | None = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        # workers must go through the spill file + cache, never the inline dict
+        return {"store_id": self.store_id, "version": self.version, "path": self.path}
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "store_id", state["store_id"])
+        object.__setattr__(self, "version", state["version"])
+        object.__setattr__(self, "path", state["path"])
+        object.__setattr__(self, "_inline", None)
+
+    def load(self) -> Mapping[str, np.ndarray]:
+        """The published state (cached per worker process; read-only)."""
+        if self._inline is not None:
+            return self._inline
+        cached = _WORKER_STATE_CACHE.get(self.store_id)
+        if cached is not None and cached[0] == self.version:
+            _WORKER_STATE_CACHE.move_to_end(self.store_id)
+            return cached[1]
+        if self.path is None:
+            raise RuntimeError(
+                f"state handle v{self.version} of store {self.store_id} has neither an "
+                "inline reference nor a spill path (published for in-process use only?)"
+            )
+        with open(self.path, "rb") as stream:
+            state = pickle.load(stream)
+        _cache_put(self.store_id, self.version, state)
+        return state
+
+
+class StateStore:
+    """Server-side publisher of versioned global-model state.
+
+    One store backs one logical weight stream (the global model; one per
+    level for Decoupled).  ``publish`` bumps the version and, when the
+    executor crosses a process boundary, spills the state once to a
+    temporary file that every worker deserialises at most once.
+    """
+
+    def __init__(self, label: str = "state"):
+        self.label = label
+        self.store_id = f"{label}-{uuid.uuid4().hex}"
+        self.version = 0
+        self._spill_dir: str | None = None
+        self._spill_path: str | None = None
+
+    def publish(self, state: Mapping[str, np.ndarray], spill: bool = False) -> StateHandle:
+        """Register a new version of the state and return its handle."""
+        self.version += 1
+        path = None
+        if spill:
+            if self._spill_dir is None:
+                self._spill_dir = tempfile.mkdtemp(prefix=f"repro-{self.label}-")
+            path = os.path.join(self._spill_dir, f"v{self.version}.pkl")
+            with open(path, "wb") as stream:
+                pickle.dump(state, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            if self._spill_path is not None and self._spill_path != path:
+                try:
+                    os.unlink(self._spill_path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            self._spill_path = path
+        return StateHandle(self.store_id, self.version, path, state)
+
+    def close(self) -> None:
+        """Remove spill files (idempotent)."""
+        if self._spill_path is not None:
+            try:
+                os.unlink(self._spill_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._spill_path = None
+        if self._spill_dir is not None:
+            try:
+                os.rmdir(self._spill_dir)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._spill_dir = None
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        self.close()
+
+
+def _bit_view(tensor: np.ndarray) -> np.ndarray:
+    """An unsigned-integer view of a float tensor's IEEE-754 payload."""
+    tensor = np.ascontiguousarray(tensor)
+    return tensor.view(np.dtype(f"u{tensor.dtype.itemsize}"))
+
+
+@dataclass
+class StateDelta:
+    """A bitwise (XOR) delta of a trained state against its reference slice.
+
+    ``payload`` maps tensor name to the XOR of the unsigned-integer views
+    of trained and reference values; ``dtypes`` remembers the floating
+    dtypes for reconstruction.
+    """
+
+    payload: dict[str, np.ndarray]
+    dtypes: dict[str, str]
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(value.nbytes for value in self.payload.values()))
+
+
+def encode_state_delta(
+    trained: Mapping[str, np.ndarray],
+    reference: Mapping[str, np.ndarray],
+) -> StateDelta:
+    """XOR-encode ``trained`` against ``reference`` (bit-exact, same shapes).
+
+    Every tensor of ``trained`` must appear in ``reference`` with an
+    identical shape and dtype — the reference is the exact slice the
+    client received.
+    """
+    payload: dict[str, np.ndarray] = {}
+    dtypes: dict[str, str] = {}
+    for name, value in trained.items():
+        value = np.asarray(value)
+        ref = np.asarray(reference[name])
+        if ref.shape != value.shape or ref.dtype != value.dtype:
+            raise ValueError(
+                f"delta reference mismatch for {name!r}: trained {value.shape}/{value.dtype} "
+                f"vs reference {ref.shape}/{ref.dtype}"
+            )
+        payload[name] = _bit_view(value) ^ _bit_view(ref)
+        dtypes[name] = value.dtype.str
+    return StateDelta(payload, dtypes)
+
+
+def apply_state_delta(
+    delta: StateDelta,
+    reference: Mapping[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """Reconstruct the trained state: ``reference XOR delta`` per tensor.
+
+    Exact inverse of :func:`encode_state_delta` — bit-identical to the
+    weights the client trained.
+    """
+    state: dict[str, np.ndarray] = {}
+    for name, bits in delta.payload.items():
+        ref = np.asarray(reference[name])
+        combined = _bit_view(ref) ^ bits
+        state[name] = combined.view(np.dtype(delta.dtypes[name]))
+    return state
+
+
+def decode_upload(
+    uploaded: "StateDelta | Mapping[str, np.ndarray]",
+    reference: Mapping[str, np.ndarray] | None,
+) -> Mapping[str, np.ndarray]:
+    """Resolve an upload that may be either raw weights or a delta."""
+    if isinstance(uploaded, StateDelta):
+        if reference is None:
+            raise ValueError("delta upload needs the reference slice to decode against")
+        return apply_state_delta(uploaded, reference)
+    return uploaded

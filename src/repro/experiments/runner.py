@@ -53,26 +53,34 @@ class AlgorithmResult:
     full_accuracy: float
     avg_accuracy: float
     communication_waste: float
+    #: ``Profiler.summary()`` of the run when profiling was requested
+    profile: dict | None = None
 
     @classmethod
-    def from_history(cls, algorithm: str, history: TrainingHistory) -> "AlgorithmResult":
+    def from_history(
+        cls, algorithm: str, history: TrainingHistory, profile: dict | None = None
+    ) -> "AlgorithmResult":
         return cls(
             algorithm=algorithm,
             history=history,
             full_accuracy=history.final_accuracy("full"),
             avg_accuracy=history.final_accuracy("avg"),
             communication_waste=history.mean_communication_waste(),
+            profile=profile,
         )
 
     def to_dict(self) -> dict:
         """JSON-friendly summary plus the full round-by-round history."""
-        return {
+        payload = {
             "algorithm": self.algorithm,
             "full_accuracy": self.full_accuracy,
             "avg_accuracy": self.avg_accuracy,
             "communication_waste": self.communication_waste,
             "history": self.history.to_dict(),
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
 
 def run_algorithm(
@@ -83,6 +91,7 @@ def run_algorithm(
     testbed: TestbedSimulator | None = None,
     scenario: str | None = None,
     callbacks: Sequence[CallbackArg] | None = None,
+    profile: bool = False,
 ) -> AlgorithmResult:
     """Train one registered algorithm on a prepared experiment.
 
@@ -98,8 +107,11 @@ def run_algorithm(
     """
     spec = get_algorithm(name)
     algorithm = spec.build(prepared, selection_strategy=selection_strategy, testbed=testbed, scenario=scenario)
-    history = algorithm.run(num_rounds=num_rounds, callbacks=_materialize_callbacks(callbacks))
-    return AlgorithmResult.from_history(spec.run_label(selection_strategy), history)
+    history = algorithm.run(
+        num_rounds=num_rounds, callbacks=_materialize_callbacks(callbacks), profile=profile
+    )
+    summary = algorithm.profiler.summary() if profile else None
+    return AlgorithmResult.from_history(spec.run_label(selection_strategy), history, profile=summary)
 
 
 def run_comparison(

@@ -65,6 +65,9 @@ class ExperimentSetting:
     max_workers: int | None = None
     #: registered fleet scenario (repro.sim) driving system dynamics, or None
     scenario: str | None = None
+    #: weight transport: "delta" (slice download + XOR-delta upload, the
+    #: default) or "full" (legacy per-task weight shipping); bit-identical
+    transport: str = "delta"
     overrides: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -76,6 +79,8 @@ class ExperimentSetting:
             raise ValueError("dirichlet distribution requires alpha")
         validate_executor_choice(self.executor, self.max_workers)
         validate_scenario_choice(self.scenario)
+        if self.transport not in {"delta", "full"}:
+            raise ValueError("transport must be 'delta' or 'full'")
 
     def to_dict(self) -> dict:
         """JSON-friendly representation; round-trips through :meth:`from_dict`."""
@@ -224,6 +229,7 @@ def prepare_experiment(setting: ExperimentSetting) -> PreparedExperiment:
         executor=setting.executor,
         max_workers=setting.max_workers,
         scenario=setting.scenario,
+        transport=setting.transport,
     )
     local_config = LocalTrainingConfig(
         local_epochs=scale.local_epochs,

@@ -35,7 +35,16 @@ from repro.nn.layers import (
 )
 from repro.nn.losses import CrossEntropyLoss, KLDivergenceLoss
 from repro.nn.optim import SGD, ConstantLR, StepLR
-from repro.nn.profiling import count_flops, count_params
+
+
+def __getattr__(name: str):
+    # lazy: repro.perf.flops traces layer types from this package, so an
+    # eager import here would be circular
+    if name in {"count_flops", "count_params", "FlopReport"}:
+        from repro.perf import flops
+
+        return getattr(flops, name)
+    raise AttributeError(f"module 'repro.nn' has no attribute {name!r}")
 
 __all__ = [
     "Module",

@@ -1,0 +1,65 @@
+"""The training stack's floating-point dtype policy.
+
+The whole NumPy training substrate — parameters, buffers, datasets,
+activations, gradients and aggregation — runs in a single configurable
+floating dtype, ``float32`` by default.  Single precision halves the
+memory traffic of every kernel and roughly doubles BLAS throughput on
+CPUs, and federated aggregation over ~tens of clients is numerically
+benign at 24 mantissa bits, so this is a pure hot-path win.
+
+Python-scalar arithmetic cannot silently promote the stack back to
+``float64``: NumPy >= 2 (NEP 50) keeps ``float32_array * python_float``
+in ``float32``, and the dtype-stability test in ``tests/perf`` guards a
+full federated round end-to-end.
+
+Tests that need double precision (e.g. finite-difference gradient
+checks, which require ``eps`` far below float32 resolution) wrap model
+construction in :func:`default_dtype`::
+
+    with default_dtype(np.float64):
+        layer = Conv2d(2, 3, 3, rng=rng)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["DEFAULT_DTYPE", "resolve_dtype", "default_dtype", "set_default_dtype"]
+
+#: the stack-wide default floating dtype
+DEFAULT_DTYPE: np.dtype = np.dtype(np.float32)
+
+_current: np.dtype = DEFAULT_DTYPE
+
+
+def resolve_dtype() -> np.dtype:
+    """The floating dtype new parameters, buffers and datasets are built with."""
+    return _current
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the stack-wide floating dtype; returns the previous one.
+
+    Prefer the :func:`default_dtype` context manager — a process-wide
+    switch mid-run would mix dtypes between existing and new tensors.
+    """
+    global _current
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise ValueError(f"default dtype must be a floating dtype, got {dtype}")
+    previous = _current
+    _current = dtype
+    return previous
+
+
+@contextmanager
+def default_dtype(dtype) -> Iterator[np.dtype]:
+    """Temporarily override the stack dtype (used by double-precision tests)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _current
+    finally:
+        set_default_dtype(previous)

@@ -3,22 +3,47 @@
 The convolution is implemented with the classic im2col/col2im lowering so
 both forward and backward passes are expressed as large matrix multiplies,
 which is the only way to get acceptable throughput out of numpy.
+
+Hot-path design (see ``repro.perf``):
+
+* operations that need large per-batch intermediates (`im2col` columns,
+  padded inputs, scatter targets) accept an optional
+  :class:`repro.perf.workspace.Workspace` and write into reusable
+  buffers instead of allocating per batch — conv/pool *modules* own one
+  workspace each and pass it down;
+* the fold/scatter adjoints (:func:`col2im`,
+  :func:`maxpool2d_backward`) are vectorised over precomputed flat
+  scatter indices (cached per geometry, shared process-wide) instead of
+  Python ``kh×kw`` loops or 4-axis fancy indexing;
+* 1×1 stride-1 unpadded convolutions skip the im2col lowering entirely
+  and run as batched GEMMs on reshaped views — no column copy at all
+  (the "contiguity-aware" fast path: the strides of an NCHW tensor
+  already permit BLAS-friendly GEMM for pointwise kernels).
+
+Reference implementations of the scatter adjoints
+(:func:`col2im_reference`, :func:`maxpool2d_backward_reference`) are
+kept for equivalence tests and microbenchmarks.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
+from repro.perf.workspace import Workspace
+
 __all__ = [
     "pad2d",
     "im2col",
     "col2im",
+    "col2im_reference",
     "conv2d_forward",
     "conv2d_backward",
     "depthwise_conv2d_forward",
     "depthwise_conv2d_backward",
     "maxpool2d_forward",
     "maxpool2d_backward",
+    "maxpool2d_backward_reference",
     "avgpool2d_forward",
     "avgpool2d_backward",
     "softmax",
@@ -26,6 +51,24 @@ __all__ = [
     "one_hot",
     "conv_output_size",
 ]
+
+#: immutable precomputed scatter-index arrays, keyed by geometry.  Shared
+#: process-wide (read-only after construction, so thread-safe) — worker
+#: processes build a fresh model per task but pay for index construction
+#: only once per conv/pool geometry.
+_SCATTER_INDEX_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def _owned_or_fresh(ws: "Workspace | None") -> Workspace:
+    """The caller's workspace, or a throwaway one for direct functional calls.
+
+    ``ws=None`` must NOT share a process-wide workspace: two interleaved
+    calls with the same geometry would alias one buffer and silently
+    corrupt a cached ``cols`` between a forward and its backward.  A
+    fresh workspace degrades to plain allocation, which is the historical
+    (correct) behaviour for the bare functional API.
+    """
+    return ws if ws is not None else Workspace()
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -39,31 +82,91 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+def pad2d(x: np.ndarray, padding: int, ws: Workspace | None = None) -> np.ndarray:
     """Zero-pad the two trailing spatial dimensions of an NCHW tensor."""
     if padding == 0:
         return x
-    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    if ws is None:
+        return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, c, h, w = x.shape
+    padded = ws.get(("pad2d", x.shape), (n, c, h + 2 * padding, w + 2 * padding), x.dtype)
+    padded.fill(0)
+    padded[:, :, padding:-padding, padding:-padding] = x
+    return padded
 
 
-def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
-    """Unfold an NCHW tensor into a matrix of receptive-field columns.
+def _patch_view(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Strided sliding-window view of shape (N, C, out_h, out_w, kh, kw)."""
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    s = x.strides
+    shape = (n, c, out_h, out_w, kh, kw)
+    strides = (s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3])
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
 
-    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
-    ``(N * out_h * out_w, C * kh * kw)``.
+
+def im2col(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    ws: Workspace | None = None,
+) -> tuple[np.ndarray, int, int]:
+    """Unfold an NCHW tensor into per-sample column matrices.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has the batched
+    "NC layout" ``(N, C * kh * kw, out_h * out_w)``: one C-contiguous
+    strided gather into the (reusable) workspace buffer whose innermost
+    copied axis is the full output row — far longer contiguous runs than
+    the classic ``(N·P, C·k²)`` layout — and whose GEMMs
+    (``weight @ cols``) produce *contiguous NCHW* outputs with no
+    transposed views downstream.
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
-    xp = pad2d(x, padding)
+    ws = _owned_or_fresh(ws)
+    xp = pad2d(x, padding, ws)
+    patches = _patch_view(xp, kh, kw, stride)
 
-    # Strided view: (N, C, out_h, out_w, kh, kw)
-    s = xp.strides
-    shape = (n, c, out_h, out_w, kh, kw)
-    strides = (s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3])
-    patches = np.lib.stride_tricks.as_strided(xp, shape=shape, strides=strides)
-    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
-    return np.ascontiguousarray(cols), out_h, out_w
+    cols = ws.get(
+        ("im2col", x.shape, kh, kw, stride, padding), (n, c * kh * kw, out_h * out_w), x.dtype
+    )
+    # one strided gather: (N, C, oh, ow, kh, kw) -> (N, C, kh, kw, oh, ow)
+    np.copyto(cols.reshape(n, c, kh, kw, out_h, out_w), patches.transpose(0, 1, 4, 5, 2, 3))
+    return cols, out_h, out_w
+
+
+def _col2im_indices(
+    x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int, padding: int
+) -> np.ndarray:
+    """Flat scatter indices mapping im2col column elements into the padded
+    input, laid out exactly like ``cols.ravel()``: (N, C, kh, kw, oh, ow)."""
+    key = ("col2im", x_shape, kh, kw, stride, padding)
+    cached = _SCATTER_INDEX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    oi = np.arange(out_h, dtype=np.intp)
+    oj = np.arange(out_w, dtype=np.intp)
+    ci = np.arange(c, dtype=np.intp)
+    ki = np.arange(kh, dtype=np.intp)
+    kj = np.arange(kw, dtype=np.intp)
+    # rows/cols of each column element inside the padded frame,
+    # iterated in (C, kh, kw, oh, ow) order to match the NC layout
+    rows = oi[None, None, None, :, None] * stride + ki[None, :, None, None, None]
+    cols = oj[None, None, None, None, :] * stride + kj[None, None, :, None, None]
+    per_sample = (ci[:, None, None, None, None] * hp + rows) * wp + cols  # (c, kh, kw, oh, ow)
+    per_sample = np.broadcast_to(per_sample, (c, kh, kw, out_h, out_w)).reshape(-1)
+    offsets = np.arange(n, dtype=np.intp) * (c * hp * wp)
+    indices = (offsets[:, None] + per_sample[None, :]).reshape(-1)
+    _SCATTER_INDEX_CACHE[key] = indices
+    return indices
 
 
 def col2im(
@@ -73,27 +176,58 @@ def col2im(
     kw: int,
     stride: int,
     padding: int,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     """Fold a column matrix back into an NCHW tensor, accumulating overlaps.
 
-    This is the adjoint of :func:`im2col` and is used in the convolution
-    backward pass to produce the gradient with respect to the input.
+    This is the adjoint of :func:`im2col` (it produces the gradient with
+    respect to the convolution input), vectorised as one flat
+    ``np.add.at`` scatter over precomputed indices.
+    """
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    ws = _owned_or_fresh(ws)
+    indices = _col2im_indices(x_shape, kh, kw, stride, padding)
+    xp = ws.zeros(("col2im", x_shape, kh, kw, stride, padding), (n * c * hp * wp,), cols.dtype)
+    np.add.at(xp, indices, cols.reshape(-1))
+    xp = xp.reshape(n, c, hp, wp)
+    if padding == 0:
+        return xp
+    return xp[:, :, padding:-padding, padding:-padding]
+
+
+def col2im_reference(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """The historical ``kh×kw``-loop col2im (kept for equivalence tests).
+
+    Accepts the same NC-layout ``(N, C·kh·kw, oh·ow)`` columns as
+    :func:`col2im` but folds them with the original strided-slice loop.
     """
     n, c, h, w = x_shape
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
     hp, wp = h + 2 * padding, w + 2 * padding
 
-    patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    patches = cols.reshape(n, c, kh, kw, out_h, out_w)
     xp = np.zeros((n, c, hp, wp), dtype=cols.dtype)
     for i in range(kh):
         i_max = i + stride * out_h
         for j in range(kw):
             j_max = j + stride * out_w
-            xp[:, :, i:i_max:stride, j:j_max:stride] += patches[:, :, :, :, i, j]
+            xp[:, :, i:i_max:stride, j:j_max:stride] += patches[:, :, i, j]
     if padding == 0:
         return xp
     return xp[:, :, padding:-padding, padding:-padding]
+
+
+def _is_pointwise(kh: int, kw: int, stride: int, padding: int) -> bool:
+    return kh == 1 and kw == 1 and stride == 1 and padding == 0
 
 
 def conv2d_forward(
@@ -102,6 +236,7 @@ def conv2d_forward(
     bias: np.ndarray | None,
     stride: int,
     padding: int,
+    ws: Workspace | None = None,
 ) -> tuple[np.ndarray, tuple]:
     """Standard (dense) 2-D convolution forward pass.
 
@@ -112,30 +247,53 @@ def conv2d_forward(
     c_out, c_in, kh, kw = weight.shape
     if x.shape[1] != c_in:
         raise ValueError(f"input has {x.shape[1]} channels, weight expects {c_in}")
-    cols, out_h, out_w = im2col(x, kh, kw, stride, padding)
+    if _is_pointwise(kh, kw, stride, padding):
+        # 1x1 fast path: batched GEMM straight over the NCHW layout
+        h, w = x.shape[2], x.shape[3]
+        x_flat = x.reshape(n, c_in, h * w)
+        out = np.matmul(weight.reshape(c_out, c_in), x_flat)  # (n, c_out, h*w)
+        if bias is not None:
+            out += bias[None, :, None]
+        out = out.reshape(n, c_out, h, w)
+        cache = (x.shape, x_flat, weight, stride, padding, True)
+        return out, cache
+    cols, out_h, out_w = im2col(x, kh, kw, stride, padding, ws)
     w_mat = weight.reshape(c_out, -1)
-    out = cols @ w_mat.T
+    # batched GEMM over the NC layout: (c_out, C·k²) @ (N, C·k², P)
+    out = np.matmul(w_mat, cols)
     if bias is not None:
-        out = out + bias
-    out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
-    cache = (x.shape, cols, weight, stride, padding)
+        out += bias[None, :, None]
+    out = out.reshape(n, c_out, out_h, out_w)
+    cache = (x.shape, cols, weight, stride, padding, False)
     return out, cache
 
 
-def conv2d_backward(grad_out: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def conv2d_backward(
+    grad_out: np.ndarray, cache: tuple, ws: Workspace | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Backward pass of :func:`conv2d_forward`.
 
     Returns ``(grad_x, grad_weight, grad_bias)``.
     """
-    x_shape, cols, weight, stride, padding = cache
+    x_shape, cols, weight, stride, padding, pointwise = cache
     c_out, c_in, kh, kw = weight.shape
     n = grad_out.shape[0]
 
-    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c_out)
-    grad_bias = grad_flat.sum(axis=0)
-    grad_w = (grad_flat.T @ cols).reshape(c_out, c_in, kh, kw)
-    grad_cols = grad_flat @ weight.reshape(c_out, -1)
-    grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+    if pointwise:
+        h, w = x_shape[2], x_shape[3]
+        x_flat = cols  # the (n, c_in, h*w) view stored by the forward pass
+        grad_flat = grad_out.reshape(n, c_out, h * w)
+        grad_bias = grad_flat.sum(axis=(0, 2))
+        grad_w = np.matmul(grad_flat, x_flat.transpose(0, 2, 1)).sum(axis=0).reshape(weight.shape)
+        grad_x = np.matmul(weight.reshape(c_out, c_in).T, grad_flat).reshape(x_shape)
+        return grad_x, grad_w, grad_bias
+
+    # NC layout throughout: grad_out (N, c_out, P), cols (N, C·k², P)
+    grad_flat = grad_out.reshape(n, c_out, -1)
+    grad_bias = grad_flat.sum(axis=(0, 2))
+    grad_w = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0).reshape(c_out, c_in, kh, kw)
+    grad_cols = np.matmul(weight.reshape(c_out, -1).T, grad_flat)  # (N, C·k², P)
+    grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding, ws)
     return grad_x, grad_w, grad_bias
 
 
@@ -145,6 +303,7 @@ def depthwise_conv2d_forward(
     bias: np.ndarray | None,
     stride: int,
     padding: int,
+    ws: Workspace | None = None,
 ) -> tuple[np.ndarray, tuple]:
     """Depthwise 2-D convolution (one filter per input channel).
 
@@ -155,51 +314,111 @@ def depthwise_conv2d_forward(
     if weight.shape[0] != c or weight.shape[1] != 1:
         raise ValueError(f"depthwise weight shape {weight.shape} incompatible with {c} input channels")
     kh, kw = weight.shape[2], weight.shape[3]
-    cols, out_h, out_w = im2col(x, kh, kw, stride, padding)
-    # cols: (N*oh*ow, C*kh*kw) -> (N*oh*ow, C, kh*kw)
-    cols_c = cols.reshape(-1, c, kh * kw)
+    cols, out_h, out_w = im2col(x, kh, kw, stride, padding, ws)
+    # cols: (N, C*kh*kw, P) -> (N, C, kh*kw, P)
+    cols_c = cols.reshape(n, c, kh * kw, -1)
     w_mat = weight.reshape(c, kh * kw)
-    out = np.einsum("pck,ck->pc", cols_c, w_mat)
+    out = np.einsum("ck,nckp->ncp", w_mat, cols_c, optimize=True)
     if bias is not None:
-        out = out + bias
-    out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        out += bias[None, :, None]
+    out = out.reshape(n, c, out_h, out_w)
     cache = (x.shape, cols_c, weight, stride, padding)
     return out, cache
 
 
-def depthwise_conv2d_backward(grad_out: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def depthwise_conv2d_backward(
+    grad_out: np.ndarray, cache: tuple, ws: Workspace | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Backward pass of :func:`depthwise_conv2d_forward`."""
     x_shape, cols_c, weight, stride, padding = cache
+    n = grad_out.shape[0]
     c = weight.shape[0]
     kh, kw = weight.shape[2], weight.shape[3]
 
-    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c)
-    grad_bias = grad_flat.sum(axis=0)
-    grad_w = np.einsum("pc,pck->ck", grad_flat, cols_c).reshape(c, 1, kh, kw)
-    grad_cols_c = np.einsum("pc,ck->pck", grad_flat, weight.reshape(c, kh * kw))
-    grad_cols = grad_cols_c.reshape(grad_flat.shape[0], c * kh * kw)
-    grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+    grad_flat = grad_out.reshape(n, c, -1)
+    grad_bias = grad_flat.sum(axis=(0, 2))
+    grad_w = np.einsum("ncp,nckp->ck", grad_flat, cols_c, optimize=True).reshape(c, 1, kh, kw)
+    grad_cols_c = np.einsum("ncp,ck->nckp", grad_flat, weight.reshape(c, kh * kw), optimize=True)
+    grad_cols = grad_cols_c.reshape(n, c * kh * kw, -1)
+    grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding, ws)
     return grad_x, grad_w, grad_bias
 
 
-def maxpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, tuple]:
-    """Max pooling forward pass (no padding)."""
+def maxpool2d_forward(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    ws: Workspace | None = None,
+    need_argmax: bool = True,
+) -> tuple[np.ndarray, tuple]:
+    """Max pooling forward pass (no padding).
+
+    ``need_argmax=False`` (inference) skips the patch gather and argmax
+    entirely: the maximum is reduced over ``kernel²`` strided window
+    views, which is both allocation-free and much faster — the returned
+    cache is then unusable for :func:`maxpool2d_backward`.
+    """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, 0)
     out_w = conv_output_size(w, kernel, stride, 0)
-    s = x.strides
-    shape = (n, c, out_h, out_w, kernel, kernel)
-    strides = (s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3])
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    flat = patches.reshape(n, c, out_h, out_w, kernel * kernel)
+    if not need_argmax:
+        out = None
+        for i in range(kernel):
+            for j in range(kernel):
+                window = x[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride]
+                if out is None:
+                    out = np.array(window, copy=True)
+                else:
+                    np.maximum(out, window, out=out)
+        return out, (x.shape, None, kernel, stride)
+    ws = _owned_or_fresh(ws)
+    patches = _patch_view(x, kernel, kernel, stride)
+    flat = ws.get(("maxpool", x.shape, kernel, stride), (n, c, out_h, out_w, kernel * kernel), x.dtype)
+    np.copyto(flat.reshape(patches.shape), patches)
     argmax = flat.argmax(axis=-1)
     out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
     cache = (x.shape, argmax, kernel, stride)
     return out, cache
 
 
+def _pool_base_indices(x_shape: tuple[int, int, int, int], out_h: int, out_w: int) -> np.ndarray:
+    """Per-(n, c) flat offsets of the pooling grid origin (cached)."""
+    key = ("poolbase", x_shape, out_h, out_w)
+    cached = _SCATTER_INDEX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    n, c, h, w = x_shape
+    base = (np.arange(n * c, dtype=np.intp) * (h * w))[:, None, None]
+    base = np.ascontiguousarray(np.broadcast_to(base, (n * c, out_h, out_w))).reshape(n, c, out_h, out_w)
+    _SCATTER_INDEX_CACHE[key] = base
+    return base
+
+
 def maxpool2d_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
-    """Backward pass of :func:`maxpool2d_forward`."""
+    """Backward pass of :func:`maxpool2d_forward`.
+
+    Routes every output gradient to its argmax input position with one
+    flat ``bincount`` accumulation (duplicate targets cannot occur within
+    a window, but windows may overlap when ``stride < kernel``).
+    """
+    x_shape, argmax, kernel, stride = cache
+    if argmax is None:
+        raise RuntimeError("maxpool forward ran without argmax (inference mode); no backward possible")
+    n, c, h, w = x_shape
+    out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+
+    rows = argmax // kernel
+    rows += np.arange(out_h, dtype=argmax.dtype)[None, None, :, None] * stride
+    cols = argmax % kernel
+    cols += np.arange(out_w, dtype=argmax.dtype)[None, None, None, :] * stride
+    indices = _pool_base_indices(x_shape, out_h, out_w) + rows * w + cols
+    flat = np.bincount(indices.reshape(-1), weights=grad_out.reshape(-1), minlength=n * c * h * w)
+    return flat.reshape(x_shape).astype(grad_out.dtype, copy=False)
+
+
+def maxpool2d_backward_reference(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    """The historical 4-axis fancy-index ``np.add.at`` scatter (kept for
+    the equivalence test against :func:`maxpool2d_backward`)."""
     x_shape, argmax, kernel, stride = cache
     n, c, h, w = x_shape
     out_h, out_w = grad_out.shape[2], grad_out.shape[3]
@@ -217,15 +436,14 @@ def maxpool2d_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
     return grad_x
 
 
-def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, tuple]:
+def avgpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, ws: Workspace | None = None
+) -> tuple[np.ndarray, tuple]:
     """Average pooling forward pass (no padding)."""
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, 0)
     out_w = conv_output_size(w, kernel, stride, 0)
-    s = x.strides
-    shape = (n, c, out_h, out_w, kernel, kernel)
-    strides = (s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3])
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    patches = _patch_view(x, kernel, kernel, stride)
     out = patches.mean(axis=(4, 5))
     cache = (x.shape, kernel, stride)
     return out, cache
@@ -238,6 +456,16 @@ def avgpool2d_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
     out_h, out_w = grad_out.shape[2], grad_out.shape[3]
     grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
     share = grad_out / (kernel * kernel)
+    if stride >= kernel:
+        # non-overlapping windows: one broadcast assignment into a strided view
+        s = grad_x.strides
+        view = np.lib.stride_tricks.as_strided(
+            grad_x,
+            shape=(n, c, out_h, kernel, out_w, kernel),
+            strides=(s[0], s[1], s[2] * stride, s[2], s[3] * stride, s[3]),
+        )
+        view[:] = share[:, :, :, None, :, None]
+        return grad_x
     for i in range(kernel):
         for j in range(kernel):
             grad_x[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += share
@@ -262,6 +490,6 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     labels = np.asarray(labels, dtype=np.int64)
     if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
         raise ValueError(f"labels out of range for {num_classes} classes")
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=resolve_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

@@ -12,6 +12,8 @@ import math
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
+
 __all__ = [
     "kaiming_uniform",
     "kaiming_normal",
@@ -42,21 +44,21 @@ def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, a: float =
     fan_in, _ = _fan_in_fan_out(shape)
     gain = math.sqrt(2.0 / (1.0 + a * a))
     bound = gain * math.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape).astype(np.float64)
+    return rng.uniform(-bound, bound, size=shape).astype(resolve_dtype())
 
 
 def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He/Kaiming normal initialisation (fan-in mode, ReLU gain)."""
     fan_in, _ = _fan_in_fan_out(shape)
     std = math.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=shape).astype(np.float64)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype())
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier uniform initialisation."""
     fan_in, fan_out = _fan_in_fan_out(shape)
     bound = math.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape).astype(np.float64)
+    return rng.uniform(-bound, bound, size=shape).astype(resolve_dtype())
 
 
 def uniform_bias(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
@@ -64,14 +66,14 @@ def uniform_bias(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) 
     if fan_in <= 0:
         raise ValueError(f"fan_in must be positive, got {fan_in}")
     bound = 1.0 / math.sqrt(fan_in)
-    return rng.uniform(-bound, bound, size=shape).astype(np.float64)
+    return rng.uniform(-bound, bound, size=shape).astype(resolve_dtype())
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    """All-zero tensor (float64)."""
-    return np.zeros(shape, dtype=np.float64)
+    """All-zero tensor (stack dtype)."""
+    return np.zeros(shape, dtype=resolve_dtype())
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
-    """All-one tensor (float64)."""
-    return np.ones(shape, dtype=np.float64)
+    """All-one tensor (stack dtype)."""
+    return np.ones(shape, dtype=resolve_dtype())

@@ -7,6 +7,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.perf.workspace import Workspace
 
 __all__ = [
     "Conv2d",
@@ -53,16 +54,20 @@ class Conv2d(Module):
             fan_in = in_channels * kernel_size * kernel_size
             self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng))
         self._cache = None
+        #: reusable per-batch buffers (im2col columns, padded input, col2im
+        #: scatter target) — owned by the module so their lifetime and
+        #: thread-affinity mirror the model instance
+        self._ws = Workspace()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         bias = self.bias.data if self.has_bias else None
-        out, self._cache = F.conv2d_forward(x, self.weight.data, bias, self.stride, self.padding)
+        out, self._cache = F.conv2d_forward(x, self.weight.data, bias, self.stride, self.padding, self._ws)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        grad_x, grad_w, grad_b = F.conv2d_backward(grad_out, self._cache)
+        grad_x, grad_w, grad_b = F.conv2d_backward(grad_out, self._cache, self._ws)
         self.weight.grad += grad_w
         if self.has_bias:
             self.bias.grad += grad_b
@@ -97,16 +102,19 @@ class DepthwiseConv2d(Module):
             fan_in = kernel_size * kernel_size
             self.bias = Parameter(init.uniform_bias((channels,), fan_in, rng))
         self._cache = None
+        self._ws = Workspace()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         bias = self.bias.data if self.has_bias else None
-        out, self._cache = F.depthwise_conv2d_forward(x, self.weight.data, bias, self.stride, self.padding)
+        out, self._cache = F.depthwise_conv2d_forward(
+            x, self.weight.data, bias, self.stride, self.padding, self._ws
+        )
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        grad_x, grad_w, grad_b = F.depthwise_conv2d_backward(grad_out, self._cache)
+        grad_x, grad_w, grad_b = F.depthwise_conv2d_backward(grad_out, self._cache, self._ws)
         self.weight.grad += grad_w
         if self.has_bias:
             self.bias.grad += grad_b
@@ -140,7 +148,7 @@ class Linear(Module):
         self._cache = x
         out = x @ self.weight.data.T
         if self.has_bias:
-            out = out + self.bias.data
+            out += self.bias.data
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -155,7 +163,15 @@ class Linear(Module):
 
 
 class BatchNorm2d(Module):
-    """Batch normalisation over the channel dimension of NCHW tensors."""
+    """Batch normalisation over the channel dimension of NCHW tensors.
+
+    Hot-path notes: the normalised activations and the input gradient are
+    computed into module-owned workspace buffers (one fresh output
+    allocation per forward, zero per backward), the running statistics
+    update in place, and the backward reductions run as ``einsum``
+    contractions that never materialise the element-wise products.  The
+    layer never mutates its input.
+    """
 
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
         super().__init__()
@@ -166,9 +182,10 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.weight = Parameter(init.ones((num_features,)))
         self.bias = Parameter(init.zeros((num_features,)))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
         self._cache = None
+        self._ws = Workspace()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.shape[1] != self.num_features:
@@ -176,18 +193,26 @@ class BatchNorm2d(Module):
         if self.training:
             mean = x.mean(axis=(0, 2, 3))
             var = x.var(axis=(0, 2, 3))
-            self._set_buffer(
-                "running_mean", (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * mean
-            )
-            self._set_buffer(
-                "running_var", (1 - self.momentum) * self._buffers["running_var"] + self.momentum * var
-            )
+            running_mean = self._buffers["running_mean"]
+            running_var = self._buffers["running_var"]
+            running_mean *= 1 - self.momentum
+            running_mean += self.momentum * mean
+            running_var *= 1 - self.momentum
+            running_var += self.momentum * var
         else:
-            mean = self._buffers["running_mean"]
-            var = self._buffers["running_var"]
+            # inference: fold mean/var/gamma/beta into one per-channel affine
+            inv_std = 1.0 / np.sqrt(self._buffers["running_var"] + self.eps)
+            scale = self.weight.data * inv_std
+            shift = self.bias.data - self._buffers["running_mean"] * scale
+            out = x * scale[None, :, None, None]
+            out += shift[None, :, None, None]
+            return out
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
-        out = self.weight.data[None, :, None, None] * x_hat + self.bias.data[None, :, None, None]
+        x_hat = self._ws.get(("x_hat", x.shape), x.shape, x.dtype)
+        np.subtract(x, mean[None, :, None, None], out=x_hat, casting="unsafe")
+        x_hat *= inv_std[None, :, None, None]
+        out = self.weight.data[None, :, None, None] * x_hat
+        out += self.bias.data[None, :, None, None]
         if self.training:
             self._cache = (x_hat, inv_std)
         return out
@@ -199,54 +224,106 @@ class BatchNorm2d(Module):
         n, c, h, w = grad_out.shape
         m = n * h * w
 
-        self.weight.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
-        self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+        # einsum contracts without materialising grad_out * x_hat; each
+        # O(N*C*H*W) reduction is computed exactly once
+        dot = np.einsum("nchw,nchw->c", grad_out, x_hat, optimize=True)
+        grad_sum = grad_out.sum(axis=(0, 2, 3))
+        self.weight.grad += dot
+        self.bias.grad += grad_sum
 
-        gamma = self.weight.data[None, :, None, None]
-        grad_xhat = grad_out * gamma
-        sum_grad = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
-        sum_grad_xhat = (grad_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
-        grad_x = (inv_std[None, :, None, None] / m) * (m * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
+        gamma = self.weight.data
+        # channel-wise sums of grad_xhat (= gamma * grad_out) and of
+        # grad_xhat * x_hat, without the (N, C, H, W) temporaries
+        sum_grad = gamma * grad_sum
+        sum_grad_xhat = gamma * dot
+
+        # grad_x = inv_std/m * (m * gamma * grad_out - sum_grad - x_hat * sum_grad_xhat)
+        # assembled in place: x_hat (the cached workspace buffer) is dead
+        # after this call, so it doubles as the output buffer
+        grad_x = x_hat
+        grad_x *= -sum_grad_xhat[None, :, None, None]
+        grad_x -= sum_grad[None, :, None, None]
+        scaled = self._ws.get(("grad_scaled", grad_out.shape), grad_out.shape, grad_out.dtype)
+        np.multiply(grad_out, (m * gamma)[None, :, None, None], out=scaled, casting="unsafe")
+        grad_x += scaled
+        grad_x *= (inv_std / m)[None, :, None, None]
         self._cache = None
         return grad_x
 
 
 class ReLU(Module):
-    """Rectified linear unit."""
+    """Rectified linear unit.
 
-    def __init__(self) -> None:
+    Activations run in place by default: the input is always a dead
+    intermediate (a conv/BN/linear output) in this framework, so
+    clipping it directly saves a full-size allocation per call — and the
+    backward pass likewise masks ``grad_out`` in place, because the
+    producing layer never reads a gradient it has already handed down.
+    Pass ``inplace=False`` when feeding tensors you want preserved.
+    """
+
+    def __init__(self, inplace: bool = True) -> None:
         super().__init__()
+        self.inplace = inplace
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            # inference never runs backward: skip the mask entirely
+            self._mask = None
+            if not self.inplace:
+                return np.maximum(x, 0.0)
+            np.maximum(x, 0.0, out=x)
+            return x
         self._mask = x > 0
-        return x * self._mask
+        if not self.inplace:
+            return x * self._mask
+        np.maximum(x, 0.0, out=x)
+        return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        grad = grad_out * self._mask
-        self._mask = None
-        return grad
+        mask, self._mask = self._mask, None
+        if not self.inplace:
+            return grad_out * mask
+        np.multiply(grad_out, mask, out=grad_out)
+        return grad_out
 
 
 class ReLU6(Module):
-    """ReLU clipped at 6 (MobileNetV2's activation)."""
+    """ReLU clipped at 6 (MobileNetV2's activation).
 
-    def __init__(self) -> None:
+    In place by default, with the same ownership contract as
+    :class:`ReLU`.
+    """
+
+    def __init__(self, inplace: bool = True) -> None:
         super().__init__()
+        self.inplace = inplace
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            self._mask = None
+            if not self.inplace:
+                return np.clip(x, 0.0, 6.0)
+            np.clip(x, 0.0, 6.0, out=x)
+            return x
         self._mask = (x > 0) & (x < 6.0)
-        return np.clip(x, 0.0, 6.0)
+        if not self.inplace:
+            return np.clip(x, 0.0, 6.0)
+        np.clip(x, 0.0, 6.0, out=x)
+        return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        grad = grad_out * self._mask
-        self._mask = None
-        return grad
+        mask, self._mask = self._mask, None
+        if not self.inplace:
+            return grad_out * mask
+        np.multiply(grad_out, mask, out=grad_out)
+        return grad_out
 
 
 class MaxPool2d(Module):
@@ -257,9 +334,13 @@ class MaxPool2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride if stride is not None else kernel_size
         self._cache = None
+        self._ws = Workspace()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, self._cache = F.maxpool2d_forward(x, self.kernel_size, self.stride)
+        out, cache = F.maxpool2d_forward(
+            x, self.kernel_size, self.stride, self._ws, need_argmax=self.training
+        )
+        self._cache = cache if self.training else None
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -27,21 +27,36 @@ class CrossEntropyLoss:
         if logits.ndim != 2:
             raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
         num_classes = logits.shape[1]
-        target_dist = F.one_hot(targets, num_classes)
+        log_probs = F.log_softmax(logits, axis=1)
+        # softmax = exp(log_softmax) exactly — one pass instead of a second
+        # stabilised softmax over the logits
+        probs = np.exp(log_probs)
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.size and (targets.min() < 0 or targets.max() >= num_classes):
+            raise ValueError(f"labels out of range for {num_classes} classes")
         if self.label_smoothing > 0.0:
             eps = self.label_smoothing
-            target_dist = target_dist * (1.0 - eps) + eps / num_classes
-        log_probs = F.log_softmax(logits, axis=1)
-        loss = -(target_dist * log_probs).sum(axis=1).mean()
-        self._cache = (F.softmax(logits, axis=1), target_dist)
-        return float(loss)
+            target_dist = F.one_hot(targets, num_classes) * (1.0 - eps) + eps / num_classes
+            loss = -(target_dist * log_probs).sum(axis=1).mean()
+            self._cache = (probs, target_dist, None)
+            return float(loss)
+        # hard labels: gather the target log-probabilities directly, no
+        # one-hot materialisation
+        picked = log_probs[np.arange(logits.shape[0]), targets]
+        self._cache = (probs, None, targets)
+        return float(-picked.mean())
 
     def backward(self) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        probs, target_dist = self._cache
+        probs, target_dist, targets = self._cache
         self._cache = None
-        return (probs - target_dist) / probs.shape[0]
+        if target_dist is not None:
+            return (probs - target_dist) / probs.shape[0]
+        grad = probs  # freshly exp'd in forward: safe to consume in place
+        grad[np.arange(grad.shape[0]), targets] -= 1.0
+        grad /= grad.shape[0]
+        return grad
 
     def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
         return self.forward(logits, targets)

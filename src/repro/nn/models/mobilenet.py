@@ -17,7 +17,7 @@ import numpy as np
 from repro.nn.layers import BatchNorm2d, Conv2d, DepthwiseConv2d, GlobalAvgPool2d, Linear, ReLU6
 from repro.nn.module import Module
 from repro.nn.models.spec import ChannelGroup, SlimmableArchitecture, annotate
-from repro.nn.profiling import FlopReport, count_flops
+from repro.perf.flops import FlopReport, count_flops
 
 __all__ = ["InvertedResidual", "MobileNetModel", "SlimmableMobileNetV2"]
 

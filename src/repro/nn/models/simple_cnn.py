@@ -13,7 +13,7 @@ import numpy as np
 from repro.nn.layers import BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU
 from repro.nn.module import Module, Sequential
 from repro.nn.models.spec import ChannelGroup, SlimmableArchitecture, annotate
-from repro.nn.profiling import FlopReport, count_flops
+from repro.perf.flops import FlopReport, count_flops
 
 __all__ = ["SimpleCNNModel", "SlimmableSimpleCNN"]
 

@@ -12,16 +12,26 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
+
 __all__ = ["Parameter", "Module", "Sequential"]
 
 
 class Parameter:
-    """A trainable tensor: value plus accumulated gradient."""
+    """A trainable tensor: value plus accumulated gradient.
+
+    Floating input keeps its dtype (initialisers already produce the
+    stack dtype; double-precision tests build under a ``float64``
+    override); non-floating input is cast to the stack dtype.
+    """
 
     __slots__ = ("data", "grad")
 
     def __init__(self, data: np.ndarray):
-        self.data = np.asarray(data, dtype=np.float64)
+        data = np.asarray(data)
+        if data.dtype.kind != "f":
+            data = data.astype(resolve_dtype())
+        self.data = data
         self.grad = np.zeros_like(self.data)
 
     @property
@@ -66,14 +76,17 @@ class Module:
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register a non-trainable tensor that is part of ``state_dict``."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        value = np.asarray(value)
+        if value.dtype.kind != "f":
+            value = value.astype(resolve_dtype())
+        self._buffers[name] = value
         object.__setattr__(self, name, self._buffers[name])
 
     def _set_buffer(self, name: str, value: np.ndarray) -> None:
         """Update a registered buffer in place (keeps state_dict in sync)."""
         if name not in self._buffers:
             raise KeyError(f"buffer {name!r} is not registered")
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=self._buffers[name].dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     # -- traversal ---------------------------------------------------------------
@@ -130,24 +143,26 @@ class Module:
             if name not in state:
                 missing.append(name)
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name])
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for parameter {name!r}: "
                     f"expected {param.data.shape}, got {value.shape}"
                 )
-            param.data = value.copy()
+            # copy into the existing tensor: keeps the parameter's dtype and
+            # lets cached models reload weights without reallocating
+            np.copyto(param.data, value, casting="unsafe")
         for name, (owner, local) in own_buffers.items():
             if name not in state:
                 missing.append(name)
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name])
             if value.shape != owner._buffers[local].shape:
                 raise ValueError(
                     f"shape mismatch for buffer {name!r}: "
                     f"expected {owner._buffers[local].shape}, got {value.shape}"
                 )
-            owner._set_buffer(local, value.copy())
+            np.copyto(owner._buffers[local], value, casting="unsafe")
         if strict:
             unexpected = [k for k in state if k not in own_params and k not in own_buffers]
             if missing or unexpected:

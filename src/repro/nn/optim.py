@@ -39,23 +39,41 @@ class SGD:
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        # one flat scratch buffer, viewed per parameter shape, makes the
+        # whole update allocation-free (fused in-place SGD + momentum)
+        max_size = max(p.size for p in self.parameters)
+        max_itemsize = max(p.data.dtype.itemsize for p in self.parameters)
+        self._scratch = np.empty(max_size * max_itemsize, dtype=np.uint8)
 
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
 
+    def _scratch_view(self, param) -> np.ndarray:
+        nbytes = param.size * param.data.dtype.itemsize
+        return self._scratch[:nbytes].view(param.data.dtype).reshape(param.data.shape)
+
     def step(self) -> None:
+        lr = self.lr
         for param, velocity in zip(self.parameters, self._velocity):
-            grad = param.grad
+            scratch = self._scratch_view(param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                # temp-free weight decay into scratch; param.grad itself is
+                # never mutated (callers may read it after step())
+                np.multiply(param.data, self.weight_decay, out=scratch, casting="unsafe")
+                scratch += param.grad
+                effective_grad = scratch
+            else:
+                effective_grad = param.grad
             if self.momentum:
                 velocity *= self.momentum
-                velocity += grad
+                velocity += effective_grad
                 update = velocity
             else:
-                update = grad
-            param.data -= self.lr * update
+                update = effective_grad
+            # in place is fine even when update aliases scratch
+            np.multiply(update, lr, out=scratch, casting="unsafe")
+            param.data -= scratch
 
 
 class ConstantLR:

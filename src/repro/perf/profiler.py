@@ -1,0 +1,130 @@
+"""Scoped wall-clock timers and allocation counters for the training loop.
+
+A :class:`Profiler` accumulates named scopes (`round.training`,
+`round.aggregate`, `evaluate`, ...) with call counts and total seconds,
+plus free-form counters (bytes shipped by the transport layer, workspace
+hits/misses).  It is deliberately phase-grained: per-op instrumentation
+in the NumPy kernels would cost more than the ops themselves, so kernels
+stay clean and the op-level story is told by
+``benchmarks/bench_hotpaths.py`` instead.
+
+The active profiler is installed per algorithm
+(:attr:`repro.core.fl_base.FederatedAlgorithm.profiler`) and surfaces on
+the CLI as ``--profile``, which prints the summary table and writes
+``profile.json`` next to the run's results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Profiler", "ScopeStats", "render_summary"]
+
+
+def render_summary(summary: dict, title: str | None = None) -> str:
+    """Human-readable table of a ``Profiler.summary()`` dict.
+
+    Shared by :meth:`Profiler.render` and the CLI's ``--profile`` output
+    (which renders summaries reloaded from ``<algorithm>_profile.json``).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'scope':<28} {'calls':>7} {'seconds':>10} {'avg ms':>9}")
+    for scope in summary.get("scopes", []):
+        avg_ms = 1000.0 * scope["seconds"] / scope["calls"] if scope["calls"] else 0.0
+        lines.append(f"{scope['name']:<28} {scope['calls']:>7} {scope['seconds']:>10.4f} {avg_ms:>9.3f}")
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<40} {'value':>14}")
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.3f}"
+            lines.append(f"{name:<40} {rendered:>14}")
+    return "\n".join(lines)
+
+
+class ScopeStats:
+    """Accumulated totals of one named scope."""
+
+    __slots__ = ("name", "calls", "seconds")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.calls += 1
+        self.seconds += seconds
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "calls": self.calls, "seconds": round(self.seconds, 6)}
+
+
+class Profiler:
+    """Collects scoped timings and counters; cheap enough to leave enabled.
+
+    A disabled profiler (the default) reduces :meth:`scope` to a no-op
+    context manager and :meth:`count` to a dict update, so the training
+    loop carries it unconditionally.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._scopes: dict[str, ScopeStats] = {}
+        self._counters: dict[str, float] = {}
+
+    # -- timing -------------------------------------------------------------------
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stats = self._scopes.get(name)
+            if stats is None:
+                stats = self._scopes[name] = ScopeStats(name)
+            stats.add(time.perf_counter() - start)
+
+    # -- counters -----------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to the counter ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def set_counter(self, name: str, value: float) -> None:
+        if self.enabled:
+            self._counters[name] = value
+
+    # -- reporting ----------------------------------------------------------------
+    @property
+    def scopes(self) -> dict[str, ScopeStats]:
+        return dict(self._scopes)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        self._scopes.clear()
+        self._counters.clear()
+
+    def summary(self) -> dict:
+        """JSON-friendly summary: scopes sorted by total time, then counters."""
+        ordered = sorted(self._scopes.values(), key=lambda s: s.seconds, reverse=True)
+        return {
+            "scopes": [stats.to_dict() for stats in ordered],
+            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+        }
+
+    def render(self) -> str:
+        """A human-readable table of the summary (used by ``--profile``)."""
+        return render_summary(self.summary())

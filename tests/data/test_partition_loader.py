@@ -135,8 +135,10 @@ class TestTransforms:
     def test_normalize(self):
         images = np.random.default_rng(0).normal(loc=5, scale=3, size=(10, 1, 4, 4))
         out = normalize(images)
-        assert abs(out.mean()) < 1e-9
-        assert abs(out.std() - 1.0) < 1e-9
+        # tolerances scale with the stack dtype (float32 by default)
+        eps = float(np.finfo(out.dtype).eps)
+        assert abs(out.mean()) < 100 * eps
+        assert abs(out.std() - 1.0) < 100 * eps
 
     def test_add_gaussian_noise_zero_std_is_copy(self):
         images = np.ones((2, 1, 3, 3))

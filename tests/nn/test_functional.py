@@ -24,12 +24,13 @@ class TestIm2Col:
         x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
         cols, oh, ow = F.im2col(x, 3, 3, 1, 1)
         assert (oh, ow) == (8, 8)
-        assert cols.shape == (2 * 8 * 8, 3 * 9)
+        # NC layout: (N, C*kh*kw, oh*ow)
+        assert cols.shape == (2, 3 * 9, 8 * 8)
 
     def test_identity_kernel_recovers_input(self):
         x = np.random.default_rng(1).normal(size=(1, 2, 5, 5))
         cols, oh, ow = F.im2col(x, 1, 1, 1, 0)
-        assert np.allclose(cols.reshape(1, 5, 5, 2).transpose(0, 3, 1, 2), x)
+        assert np.allclose(cols.reshape(1, 2, 5, 5), x)
 
     @settings(max_examples=20, deadline=None)
     @given(

@@ -20,8 +20,24 @@ from repro.nn.layers import (
 from repro.nn.module import Sequential
 
 
+def promote_to_float64(model):
+    """Cast a model's parameters and buffers to double precision in place.
+
+    Central differences with ``eps=1e-6`` need far more resolution than the
+    stack's float32 default, so gradient checks run the model in float64.
+    """
+    for param in model.parameters():
+        param.data = param.data.astype(np.float64)
+        param.grad = param.grad.astype(np.float64)
+    for module in model.modules():
+        for name, buf in list(module._buffers.items()):
+            module.register_buffer(name, buf.astype(np.float64))
+    return model
+
+
 def numerical_gradient_check(model, x, loss_of_output, n_checks=6, eps=1e-6, tol=1e-5):
     """Compare analytic parameter gradients against central differences."""
+    promote_to_float64(model)
     model.train()
     model.zero_grad()
     out = model(x)

@@ -18,7 +18,7 @@ from repro.nn.models import (
     scaled_size,
 )
 from repro.nn.models.spec import ChannelGroup
-from repro.nn.profiling import count_flops, count_params
+from repro.perf.flops import count_flops, count_params
 
 ARCHITECTURES = {
     "simple_cnn": lambda: SlimmableSimpleCNN(num_classes=4, input_shape=(1, 8, 8), width_multiplier=0.5, hidden_features=16),

@@ -1,0 +1,169 @@
+"""Slice/delta transport: exact codecs, worker caching, and bit-parity
+of delta transport against legacy full-weight transport."""
+
+import pickle
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.baselines import HeteroFL
+from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig
+from repro.core.server import AdaptiveFL
+from repro.engine.base import Executor, run_task
+from repro.engine.transport import (
+    StateStore,
+    apply_state_delta,
+    decode_upload,
+    encode_state_delta,
+)
+
+FEDERATED = FederatedConfig(num_rounds=2, clients_per_round=4, eval_every=2)
+LOCAL = LocalTrainingConfig(local_epochs=1, batch_size=25, max_batches_per_epoch=3)
+
+
+class PickleRoundTripExecutor(Executor):
+    """Serial executor that pickles tasks and results, as a process pool
+    would, and advertises itself as inter-process so the transport layer
+    takes the spill-file path."""
+
+    name = "pickle-roundtrip"
+    is_interprocess = True
+
+    def map(self, tasks):
+        results = []
+        for task in tasks:
+            clone = pickle.loads(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+            results.append(pickle.loads(pickle.dumps(run_task(clone), protocol=pickle.HIGHEST_PROTOCOL)))
+        return results
+
+
+class TestDeltaCodec:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_roundtrip_is_bit_exact(self, dtype):
+        rng = np.random.default_rng(0)
+        reference = {"w": rng.normal(size=(5, 3)).astype(dtype), "b": rng.normal(size=(5,)).astype(dtype)}
+        trained = {name: (value + rng.normal(size=value.shape) * 1e-3).astype(dtype) for name, value in reference.items()}
+        delta = encode_state_delta(trained, reference)
+        decoded = apply_state_delta(delta, reference)
+        for name in trained:
+            # bit-exact, not just allclose: XOR of the IEEE-754 payloads
+            assert np.array_equal(
+                decoded[name].view(np.uint8), np.asarray(trained[name]).view(np.uint8)
+            ), name
+
+    def test_special_values_survive(self):
+        reference = {"w": np.array([0.0, -0.0, 1.0, 2.0], dtype=np.float32)}
+        trained = {"w": np.array([np.inf, -np.inf, np.nan, 2.0], dtype=np.float32)}
+        decoded = apply_state_delta(encode_state_delta(trained, reference), reference)
+        assert np.array_equal(decoded["w"].view(np.uint32), trained["w"].view(np.uint32))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_state_delta({"w": np.zeros(3, np.float32)}, {"w": np.zeros(4, np.float32)})
+
+    def test_decode_upload_passthrough_and_delta(self):
+        reference = {"w": np.ones(3, np.float32)}
+        raw = {"w": np.full(3, 2.0, np.float32)}
+        assert decode_upload(raw, None) is raw
+        delta = encode_state_delta(raw, reference)
+        assert np.array_equal(decode_upload(delta, reference)["w"], raw["w"])
+        with pytest.raises(ValueError):
+            decode_upload(delta, None)
+
+
+class TestStateStore:
+    def test_inline_handle_returns_published_reference(self):
+        store = StateStore("test")
+        state = {"w": np.arange(4, dtype=np.float32)}
+        handle = store.publish(state, spill=False)
+        assert handle.load() is state
+
+    def test_spilled_handle_survives_pickling_and_caches(self):
+        store = StateStore("test")
+        try:
+            v1 = {"w": np.arange(4, dtype=np.float32)}
+            handle = store.publish(v1, spill=True)
+            clone = pickle.loads(pickle.dumps(handle))
+            loaded = clone.load()
+            assert np.array_equal(loaded["w"], v1["w"])
+            # second load of the same version hits the worker cache
+            assert clone.load() is loaded
+            # a new version invalidates the cache
+            v2 = {"w": np.arange(4, dtype=np.float32) * 2}
+            handle2 = pickle.loads(pickle.dumps(store.publish(v2, spill=True)))
+            assert np.array_equal(handle2.load()["w"], v2["w"])
+        finally:
+            store.close()
+
+    def test_inline_only_handle_fails_across_pickle(self):
+        store = StateStore("test")
+        handle = store.publish({"w": np.zeros(2, np.float32)}, spill=False)
+        clone = pickle.loads(pickle.dumps(handle))
+        with pytest.raises(RuntimeError):
+            clone.load()
+
+
+def build_algorithm(name, easy_setup, transport, executor="serial"):
+    federated = replace(FEDERATED, transport=transport, executor=executor, max_workers=2)
+    kwargs = dict(
+        architecture=easy_setup["arch"],
+        train_dataset=easy_setup["train"],
+        partition=easy_setup["partition"],
+        test_dataset=easy_setup["test"],
+        profiles=easy_setup["profiles"],
+        resource_model=easy_setup["resource_model"],
+        seed=0,
+    )
+    if name == "adaptivefl":
+        return AdaptiveFL(
+            algorithm_config=AdaptiveFLConfig(federated=federated, local=LOCAL, pool=easy_setup["pool"]),
+            **kwargs,
+        )
+    return HeteroFL(federated_config=federated, local_config=LOCAL, **kwargs)
+
+
+def fingerprint(algorithm):
+    return [
+        {
+            "round": record.round_index,
+            "selected": list(record.selected_clients),
+            "dispatched": list(record.dispatched),
+            "returned": list(record.returned),
+            "train_loss": record.train_loss,
+            "full_accuracy": record.full_accuracy,
+            "avg_accuracy": record.avg_accuracy,
+            "level_accuracies": dict(record.level_accuracies),
+            "communication_waste": record.communication_waste,
+        }
+        for record in algorithm.history.records
+    ]
+
+
+class TestDeltaTransportParity:
+    """Satellite: delta transport is bit-identical to full-weight transport
+    (histories *and* final weights) for AdaptiveFL and HeteroFL."""
+
+    @pytest.mark.parametrize("name", ["adaptivefl", "heterofl"])
+    def test_serial_bit_identical(self, easy_setup, name):
+        full = build_algorithm(name, easy_setup, "full")
+        full.run()
+        delta = build_algorithm(name, easy_setup, "delta")
+        delta.run()
+        assert fingerprint(delta) == fingerprint(full)
+        assert set(delta.global_state) == set(full.global_state)
+        for key, value in delta.global_state.items():
+            assert np.array_equal(value, full.global_state[key]), f"weights differ in {key!r}"
+
+    @pytest.mark.parametrize("name", ["adaptivefl", "heterofl"])
+    def test_spill_path_bit_identical(self, easy_setup, name):
+        """Same check across a real pickle boundary (spill files + worker
+        cache + XOR-delta uploads), without the cost of a process pool."""
+        full = build_algorithm(name, easy_setup, "full")
+        full.run()
+        delta = build_algorithm(name, easy_setup, "delta")
+        delta.set_executor(PickleRoundTripExecutor())
+        delta.run()
+        assert fingerprint(delta) == fingerprint(full)
+        for key, value in delta.global_state.items():
+            assert np.array_equal(value, full.global_state[key]), f"weights differ in {key!r}"
