@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Kill a sweep midway, resume it, regenerate the report — end to end.
+
+This is the experiment store's whole pitch in one script:
+
+1. start a small sweep (2 algorithms × 2 seeds) into a store directory,
+   with a callback that **simulates a crash** partway through the second
+   run (mid-round-budget, after a checkpoint was written),
+2. re-invoke the *same* sweep: the completed cell is skipped, the
+   crashed cell resumes from its last checkpoint (bit-identically — see
+   ``tests/store/test_resume_parity.py``), the untouched cells run,
+3. regenerate ``report.md``/``report.json`` from the stored state only.
+
+The same flow from a shell::
+
+    repro sweep  --store runs/ --algorithms adaptivefl heterofl --seeds 0 1 --scale ci
+    # ... ctrl-C whenever you like, then re-invoke the same command ...
+    repro report --store runs/
+
+Run:
+    PYTHONPATH=src python examples/resume_and_report.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import Callback, ExperimentSetting, ExperimentSpec, SweepSpec, generate_report, run_sweep
+from repro.store.runstore import RunStore
+
+
+class CrashAfter(Callback):
+    """Raise after N total rounds across runs — a stand-in for kill -9.
+
+    The exception escapes ``run_sweep`` exactly like a real crash would;
+    checkpoints already written stay on disk, the completion marker for
+    the in-flight run does not.
+    """
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+        self.seen = 0
+
+    def on_checkpoint(self, algorithm, record) -> None:
+        self.seen += 1
+        if self.seen >= self.rounds:
+            raise KeyboardInterrupt(f"simulated crash after {self.seen} rounds")
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="repro-store-demo-"))
+    store_dir = root / "store"
+    setting = ExperimentSetting(
+        dataset="cifar10",
+        model="simple_cnn",
+        scale="ci",
+        overrides={"num_rounds": 3, "eval_every": 2},
+    )
+    sweep = SweepSpec(
+        base=ExperimentSpec(setting=setting, algorithms=("adaptivefl", "heterofl")),
+        seeds=(0, 1),
+    )
+
+    print("== phase 1: sweep, killed midway =========================================")
+    crash = CrashAfter(rounds=5)  # run 1 completes (3 rounds); run 2 dies at its 2nd
+    try:
+        run_sweep(sweep, store_dir, callbacks=[crash])
+    except KeyboardInterrupt as interrupt:
+        print(f"sweep interrupted: {interrupt}")
+
+    store = RunStore(store_dir)
+    for entry in store.runs():
+        rounds = store.checkpoint_rounds(entry.run_id)
+        print(f"  run {entry.run_id}: status={entry.status}, checkpoints at rounds {rounds}")
+
+    print("\n== phase 2: re-invoke the identical sweep ================================")
+    result = run_sweep(sweep, store_dir)  # resume=True is the default
+    for cell in result.cells:
+        print(
+            f"  {cell.cell.algorithm} seed={cell.cell.seed}: {cell.status} "
+            f"(full accuracy {cell.result.full_accuracy:.3f})"
+        )
+    counts = result.counts()
+    print(f"  -> {counts['skipped']} skipped, {counts['resumed']} resumed, {counts['ran']} ran")
+    assert counts["skipped"] >= 1, "the completed cell should have been skipped"
+    assert counts["resumed"] >= 1, "the crashed cell should have resumed from its checkpoint"
+
+    print("\n== phase 3: regenerate the report from stored state only =================")
+    bundle = generate_report(store_dir, title="Resume-and-report demo")
+    written = bundle.save(store_dir)
+    print(bundle.markdown)
+    print("wrote:", ", ".join(str(path) for path in written))
+
+    shutil.rmtree(root)
+
+
+if __name__ == "__main__":
+    main()

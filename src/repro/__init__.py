@@ -27,6 +27,10 @@ Package layout:
 * ``repro.sim`` — the discrete-event AIoT fleet simulator: scenario
   registry (``@register_scenario``), availability/dropout/battery/network
   dynamics and deadline-aware aggregation accounting.
+* ``repro.store`` — the durable experiment store: content-addressed
+  per-round checkpoints, bit-identical resume, sweep orchestration over
+  (algorithms × scenarios × seeds) grids and report regeneration from
+  stored state only.
 * ``repro.core`` — the paper's contribution: fine-grained width-wise
   pruning, RL-based client selection, heterogeneous aggregation and the
   AdaptiveFL training loop.
@@ -41,7 +45,7 @@ from __future__ import annotations
 import importlib
 from typing import Any
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 _EXPORTS: dict[str, str] = {
     # algorithms
@@ -83,6 +87,14 @@ _EXPORTS: dict[str, str] = {
     "ThreadExecutor": "repro.engine.thread",
     "ProcessExecutor": "repro.engine.process",
     "create_executor": "repro.engine.factory",
+    # experiment store (repro.store)
+    "RunStore": "repro.store.runstore",
+    "RunRecorder": "repro.store.runstore",
+    "Checkpoint": "repro.store.checkpoint",
+    "SweepSpec": "repro.store.sweep",
+    "run_sweep": "repro.store.sweep",
+    "generate_report": "repro.store.report",
+    "write_report": "repro.store.report",
     # experiment layer
     "ExperimentSpec": "repro.api.spec",
     "ExperimentSession": "repro.api.session",

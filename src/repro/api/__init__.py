@@ -59,6 +59,14 @@ _EXPORTS: dict[str, str] = {
     "AdaptiveFLConfig": "repro.core.config",
     "TrainingHistory": "repro.core.history",
     "RoundRecord": "repro.core.history",
+    # experiment store (repro.store)
+    "RunStore": "repro.store.runstore",
+    "RunRecorder": "repro.store.runstore",
+    "Checkpoint": "repro.store.checkpoint",
+    "SweepSpec": "repro.store.sweep",
+    "run_sweep": "repro.store.sweep",
+    "generate_report": "repro.store.report",
+    "write_report": "repro.store.report",
     # fleet simulation (repro.sim)
     "ScenarioSpec": "repro.sim.scenario",
     "register_scenario": "repro.sim.scenario",

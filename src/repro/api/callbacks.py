@@ -7,6 +7,10 @@
 * ``on_evaluate(algorithm, record)`` — after an evaluated round's record
   (accuracies filled in) has been appended to the history,
 * ``on_round_end(algorithm, record)`` — after every round,
+* ``on_checkpoint(algorithm, record)`` — last hook of every round, once
+  the record is final (including the late evaluation an early stop
+  triggers); the durable-state hook the experiment store's
+  :class:`repro.store.RunRecorder` persists checkpoints from,
 * ``on_fit_end(algorithm, history)`` — once, when the loop exits (also on
   early stop).
 
@@ -54,6 +58,15 @@ class Callback:
     def on_round_end(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
         """Called after every round, evaluated or not."""
 
+    def on_checkpoint(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
+        """Called as the last hook of every round, once the record is final.
+
+        Unlike ``on_round_end`` this hook fires *after* the late evaluation
+        an early stop can trigger, so the record it sees is exactly what
+        the history keeps — the safe place to persist durable state
+        (:class:`repro.store.RunRecorder` writes its checkpoints here).
+        """
+
     def on_fit_end(self, algorithm: "FederatedAlgorithm", history: "TrainingHistory") -> None:
         """Called once when the training loop exits."""
 
@@ -65,24 +78,34 @@ class CallbackList(Callback):
         self.callbacks: list[Callback] = list(callbacks or [])
 
     def append(self, callback: Callback) -> None:
+        """Add one callback to the end of the dispatch order."""
         self.callbacks.append(callback)
 
     def __len__(self) -> int:
         return len(self.callbacks)
 
     def on_round_start(self, algorithm: "FederatedAlgorithm", round_index: int) -> None:
+        """Dispatch ``on_round_start`` to every callback, in order."""
         for callback in self.callbacks:
             callback.on_round_start(algorithm, round_index)
 
     def on_evaluate(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
+        """Dispatch ``on_evaluate`` to every callback, in order."""
         for callback in self.callbacks:
             callback.on_evaluate(algorithm, record)
 
     def on_round_end(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
+        """Dispatch ``on_round_end`` to every callback, in order."""
         for callback in self.callbacks:
             callback.on_round_end(algorithm, record)
 
+    def on_checkpoint(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
+        """Dispatch ``on_checkpoint`` to every callback, in order."""
+        for callback in self.callbacks:
+            callback.on_checkpoint(algorithm, record)
+
     def on_fit_end(self, algorithm: "FederatedAlgorithm", history: "TrainingHistory") -> None:
+        """Dispatch ``on_fit_end`` to every callback, in order."""
         for callback in self.callbacks:
             callback.on_fit_end(algorithm, history)
 
@@ -97,6 +120,7 @@ class ProgressCallback(Callback):
         self.every = every
 
     def on_round_end(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
+        """Print the round line (every ``every``-th round)."""
         if (record.round_index + 1) % self.every != 0:
             return
         total = algorithm.planned_rounds
@@ -109,6 +133,7 @@ class ProgressCallback(Callback):
         )
 
     def on_fit_end(self, algorithm: "FederatedAlgorithm", history: "TrainingHistory") -> None:
+        """Print the early-stop reason, if the run stopped early."""
         if algorithm.stop_reason is not None:
             print(f"[{algorithm.name}] stopped early: {algorithm.stop_reason}", file=self.stream or sys.stdout)
 
@@ -135,6 +160,7 @@ class EarlyStopping(Callback):
         self.stale_evaluations = 0
 
     def on_evaluate(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
+        """Track the monitored accuracy; request a stop when it stalls."""
         value = record.full_accuracy if self.monitor == "full" else record.avg_accuracy
         if value is None:
             return
@@ -150,7 +176,7 @@ class EarlyStopping(Callback):
             )
 
     def on_fit_end(self, algorithm: "FederatedAlgorithm", history: "TrainingHistory") -> None:
-        # reset so a reused instance judges each run (e.g. of a comparison) afresh
+        """Reset so a reused instance judges each run (e.g. of a comparison) afresh."""
         self.best = None
         self.stale_evaluations = 0
 
@@ -169,10 +195,12 @@ class WallClockBudget(Callback):
         self.started_at: float | None = None
 
     def on_round_start(self, algorithm: "FederatedAlgorithm", round_index: int) -> None:
+        """Start the budget clock on the first round."""
         if self.started_at is None:
             self.started_at = self.clock()
 
     def on_round_end(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
+        """Request a stop once the elapsed wall-clock exceeds the budget."""
         if self.started_at is None:
             return
         elapsed = self.clock() - self.started_at
@@ -182,7 +210,7 @@ class WallClockBudget(Callback):
             )
 
     def on_fit_end(self, algorithm: "FederatedAlgorithm", history: "TrainingHistory") -> None:
-        # reset so a reused instance grants each run its own budget
+        """Reset so a reused instance grants each run its own budget."""
         self.started_at = None
 
 
@@ -199,6 +227,7 @@ class JsonHistoryStreamer(Callback):
         self._started = False
 
     def on_round_end(self, algorithm: "FederatedAlgorithm", record: "RoundRecord") -> None:
+        """Append the round record as one JSON line (truncating on round one)."""
         mode = "a" if self._started else "w"
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, mode, encoding="utf-8") as stream:

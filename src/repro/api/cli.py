@@ -21,9 +21,22 @@ Three subcommands drive the whole experiment layer from a shell:
 
       python -m repro run --algorithm adaptivefl --scenario flaky_edge
 
+* ``repro sweep`` — expand a grid (algorithms × scenarios × seeds) into
+  an experiment store, skipping cells the store already completed and
+  resuming partially checkpointed ones::
+
+      python -m repro sweep --store runs/ --algorithms adaptivefl heterofl \\
+          --seeds 0 1 2 --scenarios none flaky_edge
+
+* ``repro report`` — regenerate ``report.md``/``report.json`` from a
+  store's completed runs, nothing else.
+
 Both ``run`` and ``compare`` write one ``<algorithm>_history.json`` per
 run plus ``summary.json`` (and echo the resolved ``spec.json``) into
-``--output-dir``, and stream progress unless ``--quiet``.
+``--output-dir``, and stream progress unless ``--quiet``; with
+``--store`` they also checkpoint every round into a durable
+:class:`repro.store.RunStore`, and ``--resume`` continues interrupted
+runs from their last completed round.
 """
 
 from __future__ import annotations
@@ -102,9 +115,32 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="collect repro.perf timers/counters per run; prints a summary and writes <algorithm>_profile.json",
     )
+    _add_store_flags(parser)
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("experiment store")
+    group.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="RunStore directory: checkpoint every round + persist final histories",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs the store completed; continue interrupted ones from their last checkpoint",
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="checkpoint cadence in rounds (default: every round)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser (also used by the CLI tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AdaptiveFL reproduction: registry-driven federated-learning experiments.",
@@ -130,6 +166,37 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios = subparsers.add_parser("scenarios", help="list the fleet-scenario registry")
     scenarios.add_argument("--names", action="store_true", help="print bare names only (scripting)")
     scenarios.set_defaults(handler=_cmd_scenarios)
+
+    sweep = subparsers.add_parser("sweep", help="run a (algorithms × scenarios × seeds) grid into a store")
+    sweep.add_argument("--algorithms", nargs="*", default=None, help="names (default: every registered algorithm)")
+    sweep.add_argument("--selection-strategy", default=None, help="AdaptiveFL strategy applied across the grid")
+    sweep.add_argument("--seeds", nargs="*", type=int, default=None, help="seeds to cross (default: --seed)")
+    sweep.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        help="scenario names to cross; the literal 'none' means no scenario (default: --scenario)",
+    )
+    sweep.add_argument("--spec", type=Path, default=None, help="JSON SweepSpec (overrides the grid flags)")
+    sweep.add_argument("--rounds", type=int, default=None, help="override the number of federated rounds")
+    sweep.add_argument("--quiet", action="store_true", help="suppress per-cell progress output")
+    _add_setting_flags(sweep)
+    _add_store_flags(sweep)
+    sweep.set_defaults(handler=_cmd_sweep, resume=None)
+    sweep.add_argument(
+        "--fresh",
+        dest="resume",
+        action="store_false",
+        help="re-run every cell even when the store already completed it (default: resume)",
+    )
+
+    report = subparsers.add_parser("report", help="regenerate report.md/report.json from a store")
+    report.add_argument("--store", type=Path, required=True, help="RunStore directory to read")
+    report.add_argument(
+        "--output-dir", type=Path, default=None, help="where to write the report (default: the store root)"
+    )
+    report.add_argument("--title", default="Experiment report", help="report heading")
+    report.set_defaults(handler=_cmd_report)
 
     return parser
 
@@ -190,6 +257,14 @@ def _session_from_args(args: argparse.Namespace) -> tuple[ExperimentSession, Exp
 
 
 def _attach_callbacks(session: ExperimentSession, args: argparse.Namespace) -> None:
+    if getattr(args, "store", None) is not None:
+        session.with_store(
+            args.store,
+            resume=bool(getattr(args, "resume", False)),
+            checkpoint_every=getattr(args, "checkpoint_every", 1),
+        )
+    elif getattr(args, "resume", False):
+        raise ValueError("--resume requires --store (there is nothing to resume from)")
     if getattr(args, "profile", False):
         session.with_profiling()
     if not args.quiet:
@@ -220,6 +295,7 @@ class _StreamerPerRun(Callback):
         return self._streamers[algorithm.name]
 
     def on_round_end(self, algorithm, record) -> None:
+        """Route the round to the algorithm's own JSONL streamer."""
         self._streamer(algorithm).on_round_end(algorithm, record)
 
 
@@ -261,6 +337,87 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     session, spec = _session_from_args(args)
     session.run_spec()
     return _finish(session, spec, args)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.store.report import write_report
+    from repro.store.sweep import SweepSpec, run_sweep
+
+    if args.store is None:
+        raise ValueError("repro sweep requires --store (the grid's durable home)")
+    if args.spec is not None:
+        conflicting = [
+            flag
+            for flag, value in [
+                ("--algorithms", args.algorithms),
+                ("--seeds", args.seeds),
+                ("--scenarios", args.scenarios),
+                ("--selection-strategy", args.selection_strategy),
+            ]
+            if value
+        ]
+        if conflicting:
+            raise ValueError(
+                f"{' and '.join(conflicting)} cannot be combined with --spec; "
+                "edit the sweep file instead (--rounds may override it)"
+            )
+        sweep = SweepSpec.load(args.spec)
+        if args.rounds is not None:
+            base = ExperimentSpec.from_dict({**sweep.base.to_dict(), "num_rounds": args.rounds})
+            sweep = SweepSpec.from_dict({**sweep.to_dict(), "base": base.to_dict()})
+    else:
+        scenarios: tuple[str | None, ...] = ()
+        if args.scenarios is not None:
+            scenarios = tuple(None if name == "none" else name for name in args.scenarios)
+        sweep = SweepSpec(
+            base=ExperimentSpec(
+                setting=_setting_from_args(args),
+                algorithms=tuple(args.algorithms or ()),
+                selection_strategy=args.selection_strategy,
+                num_rounds=args.rounds,
+            ),
+            seeds=tuple(args.seeds or ()),
+            scenarios=scenarios,
+        )
+
+    def on_cell(cell, status):
+        if not args.quiet:
+            scenario = cell.scenario or "-"
+            print(f"[sweep] {cell.algorithm} scenario={scenario} seed={cell.seed}: {status}")
+
+    resume = True if args.resume is None else args.resume
+    result = run_sweep(
+        sweep,
+        args.store,
+        resume=resume,
+        checkpoint_every=args.checkpoint_every,
+        callbacks=None if args.quiet else [lambda: ProgressCallback()],
+        on_cell=on_cell,
+    )
+    counts = result.counts()
+    rows = [
+        [cell.cell.algorithm, cell.cell.scenario or "-", str(cell.cell.seed), cell.status,
+         f"{cell.result.full_accuracy * 100:.2f}", f"{cell.result.avg_accuracy * 100:.2f}"]
+        for cell in result.cells
+    ]
+    print(format_table(["algorithm", "scenario", "seed", "status", "full (%)", "avg (%)"], rows))
+    print(
+        f"sweep: {counts['ran']} ran, {counts['resumed']} resumed, {counts['skipped']} skipped "
+        f"({len(result.cells)} cells)"
+    )
+    written = write_report(args.store)
+    print("wrote:", ", ".join(str(path) for path in written))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.store.report import generate_report
+
+    bundle = generate_report(args.store, title=args.title)
+    written = bundle.save(args.output_dir if args.output_dir is not None else args.store)
+    print(bundle.markdown)
+    print("wrote:", ", ".join(str(path) for path in written))
+    return 0
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -321,6 +478,7 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro`` and the ``repro`` console script."""
     args = build_parser().parse_args(argv)
     handler: Callable[[argparse.Namespace], int] = args.handler
     try:

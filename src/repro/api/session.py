@@ -47,6 +47,9 @@ class ExperimentSession:
         self._callbacks: list[Callback | Callable[[], Callback]] = []
         self._prepared: PreparedExperiment | None = None
         self._profile = False
+        self._store = None
+        self._resume = False
+        self._checkpoint_every = 1
 
     @classmethod
     def from_spec(cls, spec: ExperimentSpec | str | Path, **kwargs) -> "ExperimentSession":
@@ -100,6 +103,37 @@ class ExperimentSession:
             self.spec = replace(self.spec, setting=self.setting)
         return self
 
+    # -- experiment store -------------------------------------------------------------
+    def with_store(
+        self,
+        store,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+    ) -> "ExperimentSession":
+        """Persist every subsequent run into a :class:`repro.store.RunStore`.
+
+        ``store`` is a ready store or a directory path.  Each run writes a
+        checkpoint every ``checkpoint_every`` rounds plus its final
+        history, keyed by the run's canonical key.  With ``resume=True``
+        a run whose key the store has already completed returns the
+        stored result without training, and a partially checkpointed run
+        restores its latest checkpoint and trains only the remaining
+        rounds — bit-identical to the uninterrupted run.
+        """
+        from repro.store.runstore import RunStore
+
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        self._store = store if isinstance(store, RunStore) else RunStore(store)
+        self._resume = resume
+        self._checkpoint_every = checkpoint_every
+        return self
+
+    @property
+    def store(self):
+        """The attached :class:`repro.store.RunStore` (None = not persisting)."""
+        return self._store
+
     # -- profiling --------------------------------------------------------------------
     def with_profiling(self, enabled: bool = True) -> "ExperimentSession":
         """Collect :mod:`repro.perf` profiles (timers + transport counters)
@@ -127,9 +161,18 @@ class ExperimentSession:
         selection_strategy: str | None = None,
         num_rounds: int | None = None,
         callbacks: Iterable[Callback | Callable[[], Callback]] | None = None,
+        resume: bool | None = None,
     ) -> AlgorithmResult:
-        """Run one registered algorithm on the shared prepared experiment."""
+        """Run one registered algorithm on the shared prepared experiment.
+
+        ``resume`` overrides the session-level resume policy set by
+        :meth:`with_store` for this one run (it requires a store).
+        """
         validate_algorithm_names([algorithm])
+        if resume is None:
+            resume = self._resume
+        if resume and self._store is None:
+            raise ValueError("resume requires a store; call with_store(...) first")
         result = run_algorithm(
             algorithm,
             self.prepared,
@@ -138,6 +181,9 @@ class ExperimentSession:
             testbed=self.testbed,
             callbacks=self._callbacks + list(callbacks or []),
             profile=self._profile,
+            store=self._store,
+            resume=resume,
+            checkpoint_every=self._checkpoint_every,
         )
         self.results[result.algorithm] = result
         return result

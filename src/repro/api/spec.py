@@ -42,6 +42,7 @@ class ExperimentSpec:
             raise ValueError("num_rounds must be positive when set")
 
     def to_dict(self) -> dict:
+        """JSON-friendly representation; round-trips through :meth:`from_dict`."""
         return {
             "setting": self.setting.to_dict(),
             "algorithms": list(self.algorithms),
@@ -52,6 +53,7 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Strict reconstruction of :meth:`to_dict` output (unknown keys raise)."""
         data = checked_payload(cls, payload)
         if "setting" in data:
             data["setting"] = ExperimentSetting.from_dict(data["setting"])

@@ -61,6 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     # `import repro.sim` (before repro.core is initialised) circular
     from repro.sim.fleet import FleetSimulator, RoundOutcome
     from repro.sim.scenario import ScenarioSpec
+    from repro.store.checkpoint import Checkpoint
 
 __all__ = ["FederatedAlgorithm"]
 
@@ -544,6 +545,89 @@ class FederatedAlgorithm(ABC):
         record.level_accuracies = level_accuracies
         record.avg_accuracy = float(np.mean(list(level_accuracies.values()))) if level_accuracies else None
 
+    # -- checkpoint / resume (repro.store) ------------------------------------------------
+    def checkpoint_state(self) -> "Checkpoint":
+        """Capture the run's complete restorable state at the current round.
+
+        The returned :class:`repro.store.Checkpoint` holds the global
+        weights, the history, the base RNG state and — via the
+        ``_collect_extra_state`` subclass hook — algorithm-specific arrays
+        such as AdaptiveFL's RL tables, plus the attached fleet's battery
+        and availability watermarks.  Everything that is *not* captured is
+        a pure function of ``(seed, round, client)`` and reconstructs
+        identically, which is what makes :meth:`restore_checkpoint` +
+        :meth:`run` bit-identical to an uninterrupted run.
+        """
+        from repro.store.checkpoint import Checkpoint
+
+        extra_arrays: dict[str, np.ndarray] = {}
+        extra_state: dict = {}
+        self._collect_extra_state(extra_arrays, extra_state)
+        if self.fleet is not None:
+            fleet_state = self.fleet.state_dict()
+            charge = fleet_state.pop("charge")
+            if charge is not None:
+                extra_arrays["fleet/charge"] = charge
+            extra_state["fleet"] = fleet_state
+        return Checkpoint(
+            algorithm=self.name,
+            round_index=self.history.records[-1].round_index if self.history.records else 0,
+            global_state={key: value.copy() for key, value in self.global_state.items()},
+            history=self.history.to_dict(),
+            rng_state=dict(self.rng.bit_generator.state),
+            extra_arrays=extra_arrays,
+            extra_state=extra_state,
+            stop_reason=self._stop_reason,
+        )
+
+    def restore_checkpoint(self, checkpoint: "Checkpoint") -> None:
+        """Restore :meth:`checkpoint_state` output onto a freshly built algorithm.
+
+        The algorithm must have been constructed from the same experiment
+        setting (architecture, pool, partition, seed, scenario); the
+        checkpoint is validated against the fresh global state before
+        anything is mutated.  A subsequent :meth:`run` continues from the
+        round after the checkpoint — ``run(num_rounds=total - completed)``
+        reproduces the uninterrupted run bit-for-bit.
+        """
+        checkpoint.validate_for(self.name, self.global_state)
+        if self.history.records:
+            raise RuntimeError(
+                "restore_checkpoint must be called on a freshly built algorithm "
+                f"(this one already has {len(self.history)} rounds of history)"
+            )
+        self.global_state = {key: np.array(value) for key, value in checkpoint.global_state.items()}
+        self.history = TrainingHistory.from_dict(checkpoint.history)
+        self.rng.bit_generator.state = checkpoint.rng_state
+        extra_arrays = dict(checkpoint.extra_arrays)
+        extra_state = dict(checkpoint.extra_state)
+        if self.fleet is not None:
+            if "fleet" not in extra_state:
+                raise ValueError(
+                    "checkpoint has no fleet state but this run is scenario-conditioned; "
+                    "it was written without a scenario and cannot resume one"
+                )
+            fleet_state = dict(extra_state.pop("fleet"))
+            fleet_state["charge"] = extra_arrays.pop("fleet/charge", None)
+            self.fleet.load_state_dict(fleet_state)
+        elif "fleet" in extra_state:
+            raise ValueError(
+                "checkpoint carries fleet state but this run has no scenario attached"
+            )
+        self._apply_extra_state(extra_arrays, extra_state)
+
+    def _collect_extra_state(self, arrays: dict[str, np.ndarray], state: dict) -> None:
+        """Subclass hook: add algorithm-specific checkpoint state.
+
+        ``arrays`` receives numpy payloads (stored content-addressed,
+        bit-exact); ``state`` receives strict-JSON metadata.  The base
+        algorithm has nothing beyond what :meth:`checkpoint_state` already
+        captures.
+        """
+
+    def _apply_extra_state(self, arrays: Mapping[str, np.ndarray], state: Mapping) -> None:
+        """Subclass hook: restore what ``_collect_extra_state`` captured."""
+
     # -- early stopping -------------------------------------------------------------------
     @property
     def stop_reason(self) -> str | None:
@@ -566,7 +650,10 @@ class FederatedAlgorithm(ABC):
 
         Per round the callbacks fire as ``on_round_start`` → (train) →
         ``on_evaluate`` (evaluated rounds only, after the record joined the
-        history) → ``on_round_end``; ``on_fit_end`` fires once on exit.  Any
+        history) → ``on_round_end`` → ``on_checkpoint`` (always the last
+        hook of the round, after any late early-stop evaluation, so
+        durable-state callbacks see the final record); ``on_fit_end``
+        fires once on exit.  Any
         callback may call :meth:`request_stop` to end training after the
         round that is in flight.  One ordering exception: when a stop
         truncates the run at a round that was not scheduled for evaluation,
@@ -613,9 +700,18 @@ class FederatedAlgorithm(ABC):
                 if should_eval:
                     callback_list.on_evaluate(self, record)
                 callback_list.on_round_end(self, record)
-                if self._stop_reason is not None:
+                if self._stop_reason is not None and record.full_accuracy is None:
                     # an early stop makes this the last round: evaluate it so the
                     # history always ends with an evaluated record
+                    self._record_evaluation(record)
+                    callback_list.on_evaluate(self, record)
+                # the record is final from here on: durable-state callbacks
+                # (e.g. repro.store.RunRecorder) persist checkpoints now
+                callback_list.on_checkpoint(self, record)
+                # re-check the stop flag: a checkpoint callback may itself
+                # request a stop (e.g. on a persistence failure) and the
+                # contract is "training ends after the round in flight"
+                if self._stop_reason is not None:
                     if record.full_accuracy is None:
                         self._record_evaluation(record)
                         callback_list.on_evaluate(self, record)

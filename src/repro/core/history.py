@@ -161,6 +161,36 @@ class TrainingHistory:
         """Dispatched-but-not-aggregated client slots over the whole run."""
         return sum(len(record.dropped_clients) for record in self.records)
 
+    def summary(self) -> dict:
+        """Headline metrics of the run as a JSON-friendly dict.
+
+        Used by the experiment store's report generator and by
+        ``ExperimentSession.save_results``: best full/avg accuracies (None
+        when nothing was evaluated), the mean communication-waste rate
+        (None when never recorded), round count, simulated elapsed seconds
+        and the total dropped-client slots.
+        """
+        try:
+            full = self.final_accuracy("full")
+        except ValueError:
+            full = None
+        try:
+            avg = self.final_accuracy("avg")
+        except ValueError:
+            avg = None
+        try:
+            waste = self.mean_communication_waste()
+        except ValueError:
+            waste = None
+        return {
+            "rounds": len(self.records),
+            "full_accuracy": full,
+            "avg_accuracy": avg,
+            "communication_waste": waste,
+            "elapsed_seconds": self.elapsed_seconds(),
+            "total_dropped": self.total_dropped(),
+        }
+
     def to_dict(self) -> dict:
         """JSON-friendly representation (used by the experiment runner and CLI)."""
         return {

@@ -143,6 +143,34 @@ class RLClientSelector:
                 self.resource_table[rank, client] = max(self.resource_table[rank, client] - penalty, 0.0)
                 penalty += 1.0
 
+    # -- checkpointing ---------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copies of both tables, keyed for the experiment store's checkpoints.
+
+        The tables are the selector's *only* mutable state — strategy and
+        reward cap are construction-time configuration — so restoring them
+        with :meth:`load_state_dict` resumes selection bit-identically.
+        """
+        return {
+            "curiosity_table": self.curiosity_table.copy(),
+            "resource_table": self.resource_table.copy(),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output (shape-checked, bit-exact)."""
+        for name in ("curiosity_table", "resource_table"):
+            if name not in state:
+                raise ValueError(f"selector state is missing {name!r}")
+            table = np.asarray(state[name], dtype=np.float64)
+            current = getattr(self, name)
+            if table.shape != current.shape:
+                raise ValueError(
+                    f"{name} shape {table.shape} does not match the selector's {current.shape}; "
+                    "the checkpoint belongs to a different pool/fleet configuration"
+                )
+        self.curiosity_table = np.array(state["curiosity_table"], dtype=np.float64)
+        self.resource_table = np.array(state["resource_table"], dtype=np.float64)
+
     # -- introspection ---------------------------------------------------------------
     def snapshot(self) -> dict[str, np.ndarray]:
         """Copies of both tables (for logging, tests and ablation plots)."""

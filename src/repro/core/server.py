@@ -62,6 +62,29 @@ class AdaptiveFL(FederatedAlgorithm):
             resource_reward_cap=self.algorithm_config.resource_reward_cap,
         )
 
+    # -- checkpointing ---------------------------------------------------------------------
+    def _collect_extra_state(self, arrays, state) -> None:
+        """Checkpoint the RL selection tables alongside the weights.
+
+        The curiosity and resource tables are the only AdaptiveFL state
+        beyond the shared base; persisting them is what lets a resumed run
+        select clients exactly as the uninterrupted run would have.
+        """
+        for key, table in self.selector.state_dict().items():
+            arrays[f"rl/{key}"] = table
+
+    def _apply_extra_state(self, arrays, state) -> None:
+        """Restore the RL tables captured by ``_collect_extra_state``."""
+        missing = [key for key in ("rl/curiosity_table", "rl/resource_table") if key not in arrays]
+        if missing:
+            raise ValueError(f"checkpoint is missing AdaptiveFL RL state: {', '.join(missing)}")
+        self.selector.load_state_dict(
+            {
+                "curiosity_table": arrays["rl/curiosity_table"],
+                "resource_table": arrays["rl/resource_table"],
+            }
+        )
+
     # -- Algorithm 1 -----------------------------------------------------------------------
     def _draw_model(self, rng: np.random.Generator) -> SubmodelConfig:
         """Step 2 (RandomSel): uniform draw from the pool, or L1 under "greedy"."""

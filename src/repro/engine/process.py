@@ -33,11 +33,13 @@ class ProcessExecutor(Executor):
         return self._pool
 
     def map(self, tasks: Sequence[Any]) -> list[Any]:
+        """Fan the tasks across worker processes; results in submission order."""
         if not tasks:
             return []
         return list(self._ensure_pool().map(run_task, tasks))
 
     def shutdown(self) -> None:
+        """Terminate the worker pool (a later map() lazily rebuilds it)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

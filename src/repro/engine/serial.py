@@ -20,8 +20,10 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def map(self, tasks: Sequence[Any]) -> list[Any]:
+        """Run every task in order, in this process."""
         return [run_task(task) for task in tasks]
 
     @property
     def effective_workers(self) -> int:
+        """Always 1: serial execution has no pool."""
         return 1

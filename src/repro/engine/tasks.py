@@ -94,6 +94,7 @@ class LocalRoundTask(ClientTask):
     delta_upload: bool = False
 
     def run(self) -> ClientRoundResult:
+        """Execute the client's full local round (worker-side entry point)."""
         slice_config = self.planned_return if self.planned_return is not None else self.dispatched
         initial_state = _resolve_state(
             self.dispatched_state, self.pool.architecture, self.pool.group_sizes(slice_config)
@@ -129,6 +130,7 @@ class TrainSubmodelTask(ClientTask):
     delta_upload: bool = False
 
     def run(self) -> LocalTrainingResult:
+        """Train the assigned submodel on the client's data (worker-side)."""
         initial_state = _resolve_state(self.initial_state, self.architecture, self.group_sizes)
         dataset = self.dataset.load() if isinstance(self.dataset, StateHandle) else self.dataset
         result = train_local_model(

@@ -35,13 +35,17 @@ class ThreadExecutor(Executor):
         return self._pool
 
     def map(self, tasks: Sequence[Any]) -> list[Any]:
+        """Fan the tasks across the thread pool; results in submission order.
+
+        ``Executor.map`` re-raises the first task exception when its
+        result is consumed, preserving the serial error behaviour.
+        """
         if not tasks:
             return []
-        # Executor.map yields results in submission order and re-raises the
-        # first task exception when its result is consumed.
         return list(self._ensure_pool().map(run_task, tasks))
 
     def shutdown(self) -> None:
+        """Join the thread pool (a later map() lazily rebuilds it)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

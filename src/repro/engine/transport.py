@@ -188,6 +188,7 @@ class StateDelta:
 
     @property
     def nbytes(self) -> int:
+        """Total bytes of the delta payload (the upload's wire size)."""
         return int(sum(value.nbytes for value in self.payload.values()))
 
 

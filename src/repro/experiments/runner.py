@@ -92,6 +92,9 @@ def run_algorithm(
     scenario: str | None = None,
     callbacks: Sequence[CallbackArg] | None = None,
     profile: bool = False,
+    store: "object | str | None" = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
 ) -> AlgorithmResult:
     """Train one registered algorithm on a prepared experiment.
 
@@ -104,14 +107,72 @@ def run_algorithm(
     capacity profiles, put it in ``ExperimentSetting.scenario`` (or use
     :meth:`repro.api.session.ExperimentSession.with_scenario`) before
     preparing.
+
+    ``store`` (a :class:`repro.store.RunStore` or a directory path)
+    persists a checkpoint every ``checkpoint_every`` rounds and the final
+    history under the run's canonical key.  With ``resume=True`` a
+    completed run returns its stored result without training, and a
+    partially checkpointed run restores its latest checkpoint and trains
+    only the remaining rounds — bit-identically to an uninterrupted run.
     """
     spec = get_algorithm(name)
-    algorithm = spec.build(prepared, selection_strategy=selection_strategy, testbed=testbed, scenario=scenario)
-    history = algorithm.run(
-        num_rounds=num_rounds, callbacks=_materialize_callbacks(callbacks), profile=profile
+    if store is None:
+        algorithm = spec.build(prepared, selection_strategy=selection_strategy, testbed=testbed, scenario=scenario)
+        history = algorithm.run(
+            num_rounds=num_rounds, callbacks=_materialize_callbacks(callbacks), profile=profile
+        )
+        summary = algorithm.profiler.summary() if profile else None
+        return AlgorithmResult.from_history(spec.run_label(selection_strategy), history, profile=summary)
+
+    # deferred import: repro.store sits above the runner in the layering
+    from repro.store.keys import resolve_num_rounds, run_key
+    from repro.store.runstore import RunRecorder, RunStore
+
+    if testbed is not None:
+        raise ValueError(
+            "the experiment store cannot key runs on an ad-hoc testbed; use the "
+            "'paper_testbed' scenario instead (it reproduces the testbed clock exactly)"
+        )
+    if not isinstance(store, RunStore):
+        store = RunStore(store)
+    key = run_key(
+        prepared.setting,
+        name,
+        selection_strategy=selection_strategy,
+        num_rounds=num_rounds,
+        scenario_override=scenario,
     )
+    total_rounds = resolve_num_rounds(prepared.setting, num_rounds)
+    label = spec.run_label(selection_strategy)
+    entry = store.begin_run(key)
+    if resume and entry.completed:
+        return AlgorithmResult.from_history(label, store.load_history(entry.run_id))
+
+    algorithm = spec.build(prepared, selection_strategy=selection_strategy, scenario=scenario)
+    completed = 0
+    if resume:
+        checkpoint = store.latest_checkpoint(entry.run_id)
+        if checkpoint is not None:
+            algorithm.restore_checkpoint(checkpoint)
+            completed = len(algorithm.history)
+            if checkpoint.stop_reason is not None:
+                # the run had already stopped early when this checkpoint was
+                # written — the crash merely lost the completion marker;
+                # training past the stop would diverge from the original run
+                store.finish_run(entry.run_id, algorithm.history, stop_reason=checkpoint.stop_reason)
+                return AlgorithmResult.from_history(label, algorithm.history)
+    if completed >= total_rounds:
+        # every round is already checkpointed; only the completion marker was lost
+        store.finish_run(entry.run_id, algorithm.history, stop_reason=None)
+        return AlgorithmResult.from_history(label, algorithm.history)
+    recorder = RunRecorder(store, entry.run_id, every=checkpoint_every)
+    run_callbacks = (_materialize_callbacks(callbacks) or []) + [recorder]
+    history = algorithm.run(
+        num_rounds=total_rounds - completed, callbacks=run_callbacks, profile=profile
+    )
+    store.finish_run(entry.run_id, history, stop_reason=algorithm.stop_reason)
     summary = algorithm.profiler.summary() if profile else None
-    return AlgorithmResult.from_history(spec.run_label(selection_strategy), history, profile=summary)
+    return AlgorithmResult.from_history(label, history, profile=summary)
 
 
 def run_comparison(

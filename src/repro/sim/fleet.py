@@ -35,6 +35,7 @@ wall-clock numbers bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -229,6 +230,44 @@ class FleetSimulator:
             return online
         online = [c for c in range(self.num_clients) if trace[c]]
         return online if online else list(range(self.num_clients))
+
+    # -- checkpointing ----------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The fleet's mutable cross-round state, for the experiment store.
+
+        Only three things evolve as rounds advance: the battery charge
+        vector, the set of battery-recovering clients and the
+        last-simulated-round watermark.  Everything else (availability
+        traces, diurnal phases, jitter draws) is a pure function of
+        ``(seed, round, client)`` and is recomputed identically after a
+        restore, which is what makes resumed runs bit-identical.
+        """
+        return {
+            "last_simulated_round": self._last_simulated_round,
+            "recovering": sorted(self._recovering),
+            "charge": None if self._charge is None else self._charge.copy(),
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Restore :meth:`state_dict` output onto a freshly built fleet."""
+        unknown = sorted(set(state) - {"last_simulated_round", "recovering", "charge"})
+        if unknown:
+            raise ValueError(f"fleet state does not accept key(s) {', '.join(map(repr, unknown))}")
+        charge = state.get("charge")
+        if (charge is None) != (self._charge is None):
+            raise ValueError(
+                "fleet state battery shape mismatch: the checkpoint and the scenario "
+                "disagree on whether devices carry batteries"
+            )
+        if charge is not None:
+            charge = np.asarray(charge, dtype=np.float64)
+            if charge.shape != self._charge.shape:
+                raise ValueError(
+                    f"fleet charge vector has shape {charge.shape}, expected {self._charge.shape}"
+                )
+            self._charge = charge.copy()
+        self._last_simulated_round = int(state["last_simulated_round"])
+        self._recovering = {int(client) for client in state["recovering"]}
 
     # -- battery ----------------------------------------------------------------------
     def battery_charge(self, client_id: int) -> float | None:

@@ -1,0 +1,265 @@
+"""Sweep orchestration: expand a grid, skip what's done, run the rest.
+
+A :class:`SweepSpec` takes a base :class:`~repro.api.spec.ExperimentSpec`
+and crosses it with seeds and scenarios: every **cell** is one
+``(algorithm, scenario, seed)`` run keyed by its canonical run key.
+:func:`run_sweep` walks the grid grouped by ``(scenario, seed)`` so each
+group prepares its experiment exactly once (the session layer's paired-
+comparison property), skips cells the store has already completed,
+resumes partially checkpointed cells from their latest round, and runs
+the remainder through the normal executor layer.  Because cell identity
+is the run-key hash, re-invoking the same sweep after a crash (or on
+another day) does only the missing work — the acceptance path of
+``repro sweep`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.api.registry import available_algorithms, validate_algorithm_names
+from repro.api.spec import ExperimentSpec
+from repro.core.serialization import checked_payload, coerce_int_tuple
+from repro.experiments.runner import AlgorithmResult, run_algorithm
+from repro.experiments.settings import prepare_experiment
+from repro.sim.scenario import validate_scenario_choice
+from repro.store.keys import run_key
+from repro.store.objects import write_atomic
+from repro.store.runstore import RunStore
+
+__all__ = ["SweepSpec", "SweepCell", "CellResult", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of runs: base experiment × algorithms × scenarios × seeds."""
+
+    #: the shared experiment description (its setting's seed/scenario are
+    #: overridden per cell; its algorithms list bounds the grid)
+    base: ExperimentSpec = field(default_factory=ExperimentSpec)
+    #: seeds to cross (defaults to the base setting's seed)
+    seeds: tuple[int, ...] = ()
+    #: scenarios to cross; ``None`` entries mean "no scenario"; an empty
+    #: tuple keeps the base setting's scenario as the single column
+    scenarios: tuple[str | None, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", coerce_int_tuple(self.seeds, field_name="seeds") if self.seeds else ())
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        for scenario in self.scenarios:
+            if scenario is not None and not isinstance(scenario, str):
+                raise ValueError("scenarios must be names or None")
+            validate_scenario_choice(scenario)
+
+    # -- grid ---------------------------------------------------------------------------
+    def algorithm_names(self) -> tuple[str, ...]:
+        """The grid's algorithm axis (base spec's list, or every registered one)."""
+        return validate_algorithm_names(self.base.algorithms or available_algorithms())
+
+    def seed_values(self) -> tuple[int, ...]:
+        """The grid's seed axis (defaults to the base setting's single seed)."""
+        return self.seeds if self.seeds else (self.base.setting.seed,)
+
+    def scenario_values(self) -> tuple[str | None, ...]:
+        """The grid's scenario axis (defaults to the base setting's scenario)."""
+        return self.scenarios if self.scenarios else (self.base.setting.scenario,)
+
+    def cells(self) -> list["SweepCell"]:
+        """Expand the full grid, grouped by (scenario, seed) then algorithm.
+
+        The grouping order is load-bearing: consecutive cells of one
+        ``(scenario, seed)`` pair share a prepared experiment, so
+        :func:`run_sweep` prepares each pair exactly once.
+        """
+        cells = []
+        for scenario in self.scenario_values():
+            for seed in self.seed_values():
+                setting = replace(self.base.setting, seed=seed, scenario=scenario)
+                spec = replace(self.base, setting=setting)
+                for algorithm in self.algorithm_names():
+                    cells.append(SweepCell(algorithm=algorithm, scenario=scenario, seed=seed, spec=spec))
+        return cells
+
+    # -- serialisation ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly representation; round-trips through :meth:`from_dict`."""
+        return {
+            "base": self.base.to_dict(),
+            "seeds": list(self.seeds),
+            "scenarios": list(self.scenarios),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        """Strict reconstruction of :meth:`to_dict` output (unknown keys raise)."""
+        data = checked_payload(cls, payload)
+        if "base" in data:
+            data["base"] = ExperimentSpec.from_dict(data["base"])
+        if "seeds" in data:
+            data["seeds"] = tuple(data["seeds"])
+        if "scenarios" in data:
+            data["scenarios"] = tuple(data["scenarios"])
+        return cls(**data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the sweep as pretty-printed JSON (atomically); returns the path."""
+        path = Path(path)
+        write_atomic(path, json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        """Read a sweep back from JSON (strict: unknown keys raise)."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (algorithm, scenario, seed) point of a sweep grid."""
+
+    algorithm: str
+    scenario: str | None
+    seed: int
+    #: the fully resolved per-cell experiment spec
+    spec: ExperimentSpec
+
+    def key(self) -> dict:
+        """The cell's canonical run key (shared with :func:`run_algorithm`)."""
+        return run_key(
+            self.spec.setting,
+            self.algorithm,
+            selection_strategy=(
+                self.spec.selection_strategy
+                if _uses_strategy(self.algorithm)
+                else None
+            ),
+            num_rounds=self.spec.num_rounds,
+        )
+
+    def run_id(self) -> str:
+        """The cell's run ID inside a store."""
+        return RunStore.run_id_for(self.key())
+
+
+def _uses_strategy(algorithm: str) -> bool:
+    from repro.api.registry import get_algorithm
+
+    return get_algorithm(algorithm).uses_selection_strategy
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """What happened to one cell during a sweep invocation."""
+
+    cell: SweepCell
+    run_id: str
+    #: ``"skipped"`` (already complete), ``"resumed"`` or ``"ran"``
+    status: str
+    result: AlgorithmResult
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (history lives in the store, not here)."""
+        return {
+            "algorithm": self.cell.algorithm,
+            "scenario": self.cell.scenario,
+            "seed": self.cell.seed,
+            "run_id": self.run_id,
+            "status": self.status,
+            "full_accuracy": self.result.full_accuracy,
+            "avg_accuracy": self.result.avg_accuracy,
+            "rounds": len(self.result.history),
+        }
+
+
+@dataclass
+class SweepResult:
+    """The outcome of one :func:`run_sweep` invocation over a grid."""
+
+    sweep: SweepSpec
+    cells: list[CellResult]
+
+    def counts(self) -> dict[str, int]:
+        """How many cells were skipped / resumed / freshly run."""
+        counts = {"skipped": 0, "resumed": 0, "ran": 0}
+        for cell in self.cells:
+            counts[cell.status] = counts.get(cell.status, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary of the whole invocation."""
+        return {
+            "sweep": self.sweep.to_dict(),
+            "counts": self.counts(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    store: RunStore | str | Path,
+    resume: bool = True,
+    checkpoint_every: int = 1,
+    callbacks: Sequence | None = None,
+    on_cell: "Callable[[SweepCell, str], None] | None" = None,
+) -> SweepResult:
+    """Execute a sweep grid against a store, doing only the missing work.
+
+    Cells whose run the store has already completed are **skipped**
+    (their stored history becomes the cell result); cells with partial
+    checkpoints are **resumed** from their latest round; fresh cells are
+    **ran** end-to-end.  Each ``(scenario, seed)`` group prepares its
+    experiment once and runs all its algorithms on the identical
+    snapshot, preserving the paired-comparison property of
+    :func:`~repro.experiments.runner.run_comparison`.
+
+    ``on_cell(cell, status)`` is invoked before each cell executes —
+    the CLI uses it for progress lines.  The sweep spec itself is saved
+    into the store root (``sweep.json``, replacing any earlier grid) so
+    the grid travels with the data and can be re-invoked later with
+    ``repro sweep --spec <store>/sweep.json``.
+    """
+    if not isinstance(store, RunStore):
+        store = RunStore(store)
+    sweep.save(store.root / "sweep.json")
+
+    results: list[CellResult] = []
+    prepared = None
+    prepared_group: tuple[str | None, int] | None = None
+    for cell in sweep.cells():
+        entry = store.begin_run(cell.key())
+        if resume and entry.completed:
+            status = "skipped"
+        elif resume and store.checkpoint_rounds(entry.run_id):
+            status = "resumed"
+        else:
+            status = "ran"
+        if on_cell is not None:
+            on_cell(cell, status)
+        if status == "skipped":
+            from repro.api.registry import get_algorithm
+
+            strategy = cell.spec.selection_strategy if _uses_strategy(cell.algorithm) else None
+            label = get_algorithm(cell.algorithm).run_label(strategy)
+            result = AlgorithmResult.from_history(label, store.load_history(entry.run_id))
+        else:
+            group = (cell.scenario, cell.seed)
+            if prepared is None or prepared_group != group:
+                prepared = prepare_experiment(cell.spec.setting)
+                prepared_group = group
+            result = run_algorithm(
+                cell.algorithm,
+                prepared,
+                selection_strategy=(
+                    cell.spec.selection_strategy if _uses_strategy(cell.algorithm) else None
+                ),
+                num_rounds=cell.spec.num_rounds,
+                callbacks=callbacks,
+                store=store,
+                resume=resume,
+                checkpoint_every=checkpoint_every,
+            )
+        results.append(CellResult(cell=cell, run_id=entry.run_id, status=status, result=result))
+    return SweepResult(sweep=sweep, cells=results)

@@ -31,6 +31,9 @@ class RecordingCallback(Callback):
     def on_round_end(self, algorithm, record):
         self.events.append(("round_end", record.round_index))
 
+    def on_checkpoint(self, algorithm, record):
+        self.events.append(("checkpoint", record.round_index))
+
     def on_fit_end(self, algorithm, history):
         self.events.append(("fit_end", len(history)))
 
@@ -59,16 +62,66 @@ class TestInvocationOrder:
         assert recorder.events == [
             ("round_start", 0),
             ("round_end", 0),
+            ("checkpoint", 0),
             ("round_start", 1),
             ("evaluate", 1),  # eval_every=2: rounds 1 and 3 are evaluated
             ("round_end", 1),
+            ("checkpoint", 1),
             ("round_start", 2),
             ("round_end", 2),
+            ("checkpoint", 2),
             ("round_start", 3),
             ("evaluate", 3),
             ("round_end", 3),
+            ("checkpoint", 3),
             ("fit_end", 4),
         ]
+
+    def test_checkpoint_fires_after_late_early_stop_evaluation(
+        self, tiny_cnn, tiny_federated_setup, tiny_pool_config
+    ):
+        """On an early stop at an unevaluated round, on_checkpoint still sees
+        the final (late-evaluated) record — the guarantee RunRecorder needs."""
+        recorder = RecordingCallback()
+        seen = []
+
+        class StopAtFirstRound(Callback):
+            def on_round_end(self, algorithm, record):
+                algorithm.request_stop("test stop")
+
+        class CheckpointReader(Callback):
+            def on_checkpoint(self, algorithm, record):
+                seen.append(record.full_accuracy)
+
+        algorithm = make_algorithm(tiny_cnn, tiny_federated_setup, tiny_pool_config, num_rounds=4, eval_every=2)
+        algorithm.run(callbacks=[recorder, StopAtFirstRound(), CheckpointReader()])
+        # round 0 is not on the eval cadence; the stop triggers the late evaluation
+        assert recorder.events == [
+            ("round_start", 0),
+            ("round_end", 0),
+            ("evaluate", 0),
+            ("checkpoint", 0),
+            ("fit_end", 1),
+        ]
+        assert seen == [algorithm.history.records[-1].full_accuracy]
+        assert seen[0] is not None
+
+    def test_request_stop_from_on_checkpoint_ends_after_current_round(
+        self, tiny_cnn, tiny_federated_setup, tiny_pool_config
+    ):
+        """A stop requested inside on_checkpoint (e.g. a persistence failure)
+        must end training after the round in flight, not one round later."""
+
+        class StopFromCheckpoint(Callback):
+            def on_checkpoint(self, algorithm, record):
+                if record.round_index == 1:
+                    algorithm.request_stop("checkpoint failed")
+
+        algorithm = make_algorithm(tiny_cnn, tiny_federated_setup, tiny_pool_config, num_rounds=4, eval_every=2)
+        algorithm.run(callbacks=[StopFromCheckpoint()])
+        assert len(algorithm.history) == 2  # rounds 0 and 1 only
+        assert algorithm.stop_reason == "checkpoint failed"
+        assert algorithm.history.records[-1].full_accuracy is not None
 
     def test_callback_list_dispatches_to_all(self, tiny_cnn, tiny_federated_setup, tiny_pool_config):
         first, second = RecordingCallback(), RecordingCallback()

@@ -1,0 +1,36 @@
+"""Regenerate the golden report fixture after an intentional format change.
+
+Usage::
+
+    PYTHONPATH=src python tests/store/regen_golden.py
+
+Review the diff of ``tests/store/golden/report.md`` before committing —
+the golden test exists to catch *unintentional* format drift.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from store.test_sweep_report import GOLDEN_PATH, make_fixture_store  # noqa: E402
+
+from repro.store.report import generate_report  # noqa: E402
+
+
+def main() -> None:
+    """Rebuild the fixture store in a temp dir and rewrite the golden file."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = make_fixture_store(Path(tmp) / "store")
+        bundle = generate_report(store, title="Golden fixture report")
+    golden = Path(__file__).resolve().parents[2] / GOLDEN_PATH
+    golden.parent.mkdir(parents=True, exist_ok=True)
+    golden.write_text(bundle.markdown, encoding="utf-8")
+    print(f"wrote {golden} ({len(bundle.markdown.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()
