@@ -1,0 +1,43 @@
+"""repro.analysis — *reprolint*, the determinism & invariant linter.
+
+A plugin-based static-analysis framework purpose-built for this
+repository's invariants: the rules encode guarantees the runtime parity
+suites can only spot-check — sanctioned randomness (RPL001), dtype
+discipline (RPL002), pickle-safe executor tasks (RPL003), strict
+serialization pairing (RPL004), shared-state hygiene (RPL005), atomic
+store writes (RPL006), registry hygiene (RPL007) and callback ordering
+(RPL008).
+
+Rules register via the same decorator idiom as algorithms and
+scenarios (:func:`register_rule`); :func:`lint_paths` drives a run;
+``repro lint`` is the CLI face.  See ``docs/guides/lint.md``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineMatch
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.findings import PARSE_ERROR_CODE, Finding
+from repro.analysis.registry import (
+    Rule,
+    RuleSpec,
+    available_rules,
+    ensure_builtin_rules,
+    get_rule,
+    register_rule,
+    unregister_rule,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineMatch",
+    "Finding",
+    "LintResult",
+    "PARSE_ERROR_CODE",
+    "Rule",
+    "RuleSpec",
+    "available_rules",
+    "ensure_builtin_rules",
+    "get_rule",
+    "lint_paths",
+    "register_rule",
+    "unregister_rule",
+]

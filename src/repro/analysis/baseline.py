@@ -1,0 +1,113 @@
+"""The committed findings baseline: grandfathered, not forgotten.
+
+Some findings are intentional (per-process caches the rules flag by
+design); the baseline file — ``reprolint_baseline.json`` at the repo
+root — records them so ``repro lint`` stays actionable: a clean run
+means *zero findings that are not explicitly accounted for*.
+
+Matching is a multiset over :meth:`Finding.fingerprint` — ``(code,
+path, message)``, deliberately excluding line numbers so unrelated
+edits to a file do not invalidate its entries.  Drift fails in *both*
+directions: a new finding is a regression, and a baseline entry that no
+longer matches anything is stale and must be removed — the baseline
+can only shrink through honest cleanup, never rot silently.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.store.objects import write_atomic
+
+__all__ = ["Baseline", "BaselineMatch", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "reprolint_baseline.json"
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass
+class BaselineMatch:
+    """The three-way split of a lint run against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    #: entries in the baseline that matched no current finding
+    stale: list[dict[str, object]] = field(default_factory=list)
+
+
+@dataclass
+class Baseline:
+    """The grandfathered findings, as (code, path, message) fingerprints."""
+
+    entries: list[dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; reject unknown schema versions."""
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("schema_version")
+        if version != _SCHEMA_VERSION:
+            raise ValueError(f"unsupported baseline schema_version {version!r} in {path}")
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ValueError(f"baseline {path} has no entry list")
+        for entry in entries:
+            missing = {"code", "path", "message"} - set(entry)
+            if missing:
+                raise ValueError(f"baseline entry missing keys {sorted(missing)} in {path}")
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build a baseline covering every given finding (line kept as advisory)."""
+        entries = [
+            {
+                "code": finding.code,
+                "path": finding.path,
+                "message": finding.message,
+                "line": finding.line,
+            }
+            for finding in sorted(findings)
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Persist atomically with a stable key order for reviewable diffs."""
+        payload = {
+            "schema_version": _SCHEMA_VERSION,
+            "tool": "reprolint",
+            "entries": self.entries,
+        }
+        write_atomic(path, (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"))
+
+    def match(self, findings: Sequence[Finding]) -> BaselineMatch:
+        """Split ``findings`` into new vs baselined; report stale entries.
+
+        Multiset semantics: two identical findings need two baseline
+        entries, so dropping one of a pair still registers as progress
+        (one stale entry) rather than being absorbed.
+        """
+        budget = Counter(
+            (str(entry["code"]), str(entry["path"]), str(entry["message"])) for entry in self.entries
+        )
+        match = BaselineMatch()
+        for finding in findings:
+            key = finding.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                match.baselined.append(finding)
+            else:
+                match.new.append(finding)
+        remaining = Counter(budget)
+        for entry in self.entries:
+            key = (str(entry["code"]), str(entry["path"]), str(entry["message"]))
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                match.stale.append(entry)
+        return match

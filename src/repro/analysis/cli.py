@@ -1,0 +1,82 @@
+"""The ``repro lint`` entry point: arguments in, exit code out.
+
+Exit codes follow the repo-wide CLI convention: ``0`` clean, ``1``
+findings (or — under ``--strict`` — stale baseline entries), ``2``
+usage errors such as a nonexistent path or an unknown rule code.  The
+argparse flags themselves live in :mod:`repro.api.cli` next to every
+other subcommand so ``repro --help`` stays the single source of truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineMatch
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import available_rules, ensure_builtin_rules
+from repro.analysis.report import render_json, render_text
+from repro.store.objects import write_atomic
+
+__all__ = ["run_lint"]
+
+
+def _print_rules() -> int:
+    ensure_builtin_rules()
+    for spec in available_rules():
+        scopes = f"  [scopes: {', '.join(spec.scopes)}]" if spec.scopes else ""
+        print(f"{spec.code}  {spec.name:<24} {spec.summary}{scopes}")
+    return 0
+
+
+def _resolve_baseline(args: argparse.Namespace, root: Path) -> Path | None:
+    if getattr(args, "no_baseline", False):
+        return None
+    if args.baseline is not None:
+        path = Path(args.baseline)
+        if not path.exists():
+            raise OSError(f"baseline file does not exist: {path}")
+        return path
+    default = root / DEFAULT_BASELINE_NAME
+    return default if default.exists() else None
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` with parsed arguments; return the exit code."""
+    if getattr(args, "list_rules", False):
+        return _print_rules()
+
+    root = Path.cwd()
+    rules = args.rules.split(",") if getattr(args, "rules", None) else None
+    result = lint_paths(args.paths, rules=rules, relative_to=root)
+
+    baseline_path = _resolve_baseline(args, root)
+    if getattr(args, "write_baseline", False):
+        target = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+        Baseline.from_findings(result.findings).save(target)
+        print(f"wrote {len(result.findings)} entr{'y' if len(result.findings) == 1 else 'ies'} to {target}")
+        return 0
+
+    if baseline_path is not None:
+        match = Baseline.load(baseline_path).match(result.findings)
+    else:
+        match = BaselineMatch(new=list(result.findings))
+
+    if args.format == "json":
+        rendered = render_json(result, match)
+    else:
+        rendered = render_text(result, match)
+    if getattr(args, "output", None):
+        write_atomic(Path(args.output), rendered)
+        print(f"report written to {args.output}", file=sys.stderr)
+    if args.format == "json" and not getattr(args, "output", None):
+        print(rendered, end="")
+    elif args.format != "json":
+        print(rendered, end="")
+
+    if match.new:
+        return 1
+    if match.stale and getattr(args, "strict", False):
+        return 1
+    return 0

@@ -1,0 +1,117 @@
+"""Per-file lint context: parsed tree, import aliases and suppressions.
+
+A :class:`FileContext` is built once per file and shared by every rule,
+so the file is read, parsed and its imports resolved exactly once.  The
+central service is :meth:`FileContext.resolve` — mapping an ast
+expression like ``np.random.shuffle`` (under ``import numpy as np``)
+to the canonical dotted name ``numpy.random.shuffle`` — which is what
+lets rules reason about *what is called* rather than what it happens to
+be spelled like in one file.
+
+Inline suppressions use the ``# reprolint: disable=RPL001`` comment on
+the offending line (several codes comma-separated).  Suppressed
+findings are dropped from the report but counted, so a clean run still
+shows how much was waved through.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+__all__ = ["FileContext", "path_matches"]
+
+_SUPPRESSION = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+
+
+def path_matches(path: str, fragment: str) -> bool:
+    """True when ``fragment`` occurs as a contiguous segment sequence of ``path``.
+
+    ``"repro/nn"`` matches ``src/repro/nn/functional.py`` but not
+    ``src/repro/nnext/x.py``; a fragment naming a file matches that file
+    exactly (``"repro/engine/rng.py"``).
+    """
+    haystack = "/" + path.strip("/") + "/"
+    needle = "/" + fragment.strip("/") + "/"
+    if needle in haystack:
+        return True
+    return haystack.rstrip("/").endswith(needle.rstrip("/"))
+
+
+class FileContext:
+    """Everything the rules need to know about one parsed source file."""
+
+    def __init__(self, path: Path, display_path: str, source: str, tree: ast.Module):
+        self.path = path
+        #: posix path reported in findings (relative to the lint root)
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: local name -> canonical dotted name, built from every import
+        self.aliases = self._collect_aliases(tree)
+        #: 1-based line -> set of rule codes disabled on that line
+        self.suppressions = self._collect_suppressions(self.lines)
+
+    # -- imports ------------------------------------------------------------------------
+    @staticmethod
+    def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".", 1)[0]
+                    target = name.name if name.asname else name.name.split(".", 1)[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                module = ("." * node.level) + (node.module or "")
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    local = name.asname or name.name
+                    aliases[local] = f"{module}.{name.name}" if module else name.name
+        return aliases
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The canonical dotted name of an expression, or ``None``.
+
+        ``Name`` nodes resolve through the import aliases and fall back
+        to their own identifier (so builtins like ``open`` resolve to
+        ``"open"``); ``Attribute`` chains resolve their base name the
+        same way and refuse chains rooted in non-imported objects
+        (``self.rng.shuffle`` resolves to ``None``, not a false match).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id)
+        if base is None:
+            if parts:  # attribute chain on a plain local object: unknowable
+                return None
+            return node.id
+        return ".".join([base, *reversed(parts)])
+
+    def resolve_call(self, call: ast.Call) -> str | None:
+        """The canonical dotted name of a call's callee, or ``None``."""
+        return self.resolve(call.func)
+
+    # -- suppressions -------------------------------------------------------------------
+    @staticmethod
+    def _collect_suppressions(lines: list[str]) -> dict[int, set[str]]:
+        suppressions: dict[int, set[str]] = {}
+        for index, line in enumerate(lines, start=1):
+            match = _SUPPRESSION.search(line)
+            if match is None:
+                continue
+            codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+            if codes:
+                suppressions[index] = codes
+        return suppressions
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """True when ``code`` is disabled on ``line`` by an inline comment."""
+        return code in self.suppressions.get(line, ())

@@ -1,0 +1,151 @@
+"""The lint driver: collect files, build contexts, run every rule.
+
+:func:`lint_paths` is the single entry point both the CLI and the tests
+use.  It expands the given paths to ``.py`` files, parses each once
+into a shared :class:`repro.analysis.context.FileContext`, runs every
+selected rule's per-file pass and then the project-wide passes, applies
+inline suppressions and scope/exempt filters, and returns a
+:class:`LintResult` with deterministically sorted findings.
+
+Unreadable syntax is not swallowed: a file that fails to parse yields a
+synthetic ``RPL000`` finding so a broken file can never make the lint
+look cleaner than the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.context import FileContext, path_matches
+from repro.analysis.findings import PARSE_ERROR_CODE, Finding
+from repro.analysis.registry import Rule, ensure_builtin_rules, iter_rules
+
+__all__ = ["LintResult", "lint_paths"]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    ``findings`` is the reportable list (already filtered for scope and
+    inline suppressions); ``suppressed`` counts findings waved through
+    by inline comments so a clean run still shows what it ignored.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no reportable findings remain."""
+        return not self.findings
+
+
+def _collect_files(paths: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(part == "__pycache__" or part.startswith(".") for part in parts):
+                continue
+            files.append(candidate)
+    # dedupe while keeping deterministic order
+    unique: dict[Path, None] = {}
+    for file in files:
+        unique[file.resolve()] = None
+    return list(unique)
+
+
+def _display_path(file: Path, relative_to: Path | None) -> str:
+    if relative_to is not None:
+        try:
+            return file.relative_to(relative_to.resolve()).as_posix()
+        except ValueError:
+            pass
+    return file.as_posix()
+
+
+def _rule_applies(rule: Rule, display_path: str) -> bool:
+    spec = rule.spec
+    if any(path_matches(display_path, fragment) for fragment in spec.exempt):
+        return False
+    if spec.scopes:
+        return any(path_matches(display_path, fragment) for fragment in spec.scopes)
+    return True
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    *,
+    rules: Sequence[str] | None = None,
+    relative_to: Path | str | None = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directory trees) with the selected rules.
+
+    ``rules`` narrows the run to specific codes (default: all registered
+    rules); ``relative_to`` controls how paths are spelled in findings —
+    pass the repo root so findings and baseline entries stay portable
+    across checkouts.  Missing paths raise :class:`FileNotFoundError`,
+    which the CLI maps to a usage error (exit 2).
+    """
+    ensure_builtin_rules()
+    active_rules = [spec.build() for spec in iter_rules(rules)]
+    root = Path(relative_to).resolve() if relative_to is not None else None
+    files = _collect_files([Path(p) for p in paths])
+
+    result = LintResult(files_scanned=len(files))
+    contexts: list[FileContext] = []
+    raw: list[tuple[Finding, FileContext | None]] = []
+
+    for file in files:
+        display = _display_path(file, root)
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as error:
+            raw.append(
+                (
+                    Finding(
+                        path=display,
+                        line=error.lineno or 1,
+                        column=(error.offset or 1) - 1,
+                        code=PARSE_ERROR_CODE,
+                        message=f"file does not parse: {error.msg}",
+                        symbol="parse-error",
+                    ),
+                    None,
+                )
+            )
+            continue
+        ctx = FileContext(file, display, source, tree)
+        contexts.append(ctx)
+        for rule in active_rules:
+            if not _rule_applies(rule, display):
+                continue
+            for finding in rule.check_file(ctx):
+                raw.append((finding, ctx))
+
+    for rule in active_rules:
+        scoped = [ctx for ctx in contexts if _rule_applies(rule, ctx.display_path)]
+        by_path = {ctx.display_path: ctx for ctx in scoped}
+        for finding in rule.check_project(scoped):
+            raw.append((finding, by_path.get(finding.path)))
+
+    for finding, ctx in raw:
+        if ctx is not None and ctx.is_suppressed(finding.code, finding.line):
+            result.suppressed += 1
+            continue
+        result.findings.append(finding)
+
+    result.findings.sort()
+    return result

@@ -1,0 +1,84 @@
+"""The unit of lint output: one :class:`Finding` per rule violation.
+
+A finding pins a rule code to a file position and carries the
+human-readable message plus the rule's short symbol.  Findings are
+value objects: hashable, totally ordered by location (so reports and
+baselines are deterministic) and strictly JSON round-trippable via
+:meth:`Finding.to_dict` / :meth:`Finding.from_dict` — the same
+contract every config dataclass in this repository honours (and that
+rule ``RPL004`` enforces).
+
+Baselines match findings on their :meth:`Finding.fingerprint` —
+``(code, path, message)``, deliberately excluding the line number so
+unrelated edits to a baselined file do not invalidate its grandfathered
+entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.serialization import checked_payload
+
+__all__ = ["Finding", "PARSE_ERROR_CODE"]
+
+#: pseudo-rule code attached to files the engine cannot parse
+PARSE_ERROR_CODE = "RPL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    #: posix path of the offending file (relative to the lint root)
+    path: str
+    #: 1-based source line
+    line: int
+    #: 0-based column (ast convention)
+    column: int
+    #: rule code, e.g. ``"RPL001"``
+    code: str
+    #: human-readable explanation of the violation
+    message: str
+    #: the rule's short kebab-case symbol, e.g. ``"global-rng"``
+    symbol: str = ""
+
+    def location(self) -> str:
+        """``path:line:column`` — the clickable anchor used in text output."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The baseline identity ``(code, path, message)``.
+
+        Line and column are excluded on purpose: a baselined finding
+        survives unrelated edits that shift it around the file.
+        """
+        return (self.code, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation; round-trips through :meth:`from_dict`."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        """Strict reconstruction of :meth:`to_dict` output (unknown keys raise)."""
+        data = checked_payload(cls, payload)
+        for key in ("path", "code", "message"):
+            if key not in data:
+                raise ValueError(f"Finding payload is missing required key {key!r}")
+        return cls(
+            path=str(data["path"]),
+            line=int(data.get("line", 0)),
+            column=int(data.get("column", 0)),
+            code=str(data["code"]),
+            message=str(data["message"]),
+            symbol=str(data.get("symbol", "")),
+        )

@@ -1,0 +1,175 @@
+"""The rule registry: every reprolint rule self-describes itself.
+
+Rules register with the :func:`register_rule` decorator — the same
+import-time registration idiom as the algorithm registry
+(:mod:`repro.api.registry`) and the scenario registry
+(:mod:`repro.sim.scenario`): adding a rule is one decorated class in
+:mod:`repro.analysis.rules`, no engine edits.  Each registration binds a
+:class:`RuleSpec` carrying the rule's code, symbol, one-line summary,
+the *rationale* (which runtime guarantee the rule proves statically) and
+its path scopes, so the CLI's rule catalogue and the docs render straight
+from the registry.
+
+A rule class implements ``check_file(ctx)`` yielding
+:class:`~repro.analysis.findings.Finding` objects for one parsed file,
+and may implement ``check_project(contexts)`` for cross-file invariants
+(e.g. duplicate registration names).  The engine instantiates one rule
+object per lint invocation, so rules may accumulate per-run state.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import FileContext
+    from repro.analysis.findings import Finding
+
+__all__ = [
+    "Rule",
+    "RuleSpec",
+    "register_rule",
+    "unregister_rule",
+    "get_rule",
+    "available_rules",
+    "ensure_builtin_rules",
+]
+
+_CODE_PATTERN = re.compile(r"^RPL\d{3}$")
+
+
+class Rule:
+    """Base class of every lint rule; both check hooks default to nothing."""
+
+    #: bound by the registry at registration time
+    spec: "RuleSpec"
+
+    def check_file(self, ctx: "FileContext") -> Iterable["Finding"]:
+        """Yield findings for one parsed file (already scope-filtered)."""
+        return ()
+
+    def check_project(self, contexts: "list[FileContext]") -> Iterable["Finding"]:
+        """Yield cross-file findings once, after every file was visited.
+
+        ``contexts`` holds only the files within the rule's scope; rules
+        with purely local reasoning never override this.
+        """
+        return ()
+
+    def finding(
+        self, ctx: "FileContext", node, message: str
+    ) -> "Finding":
+        """Build a :class:`Finding` for an ast node in ``ctx`` (convenience)."""
+        from repro.analysis.findings import Finding
+
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0),
+            code=self.spec.code,
+            message=message,
+            symbol=self.spec.name,
+        )
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A registered rule plus the metadata the catalogue and docs render."""
+
+    #: rule code (``RPL`` + three digits)
+    code: str
+    #: short kebab-case symbol, e.g. ``"global-rng"``
+    name: str
+    #: one-line description of what the rule flags
+    summary: str
+    #: the runtime guarantee this rule proves at the AST level
+    rationale: str = ""
+    #: path fragments the rule applies to (empty = every linted file);
+    #: a fragment matches when it appears as a contiguous path-segment
+    #: sequence, e.g. ``"repro/nn"`` matches ``src/repro/nn/functional.py``
+    scopes: tuple[str, ...] = ()
+    #: path fragments exempt from the rule (sanctioned plumbing)
+    exempt: tuple[str, ...] = ()
+    #: the registered rule class (instantiated once per lint invocation)
+    factory: Callable[[], Rule] = field(default=Rule, repr=False)
+
+    def build(self) -> Rule:
+        """Instantiate the rule and bind this spec onto it."""
+        rule = self.factory()
+        rule.spec = self
+        return rule
+
+
+_RULES: dict[str, RuleSpec] = {}
+
+
+def register_rule(
+    code: str,
+    *,
+    name: str,
+    summary: str,
+    rationale: str = "",
+    scopes: tuple[str, ...] = (),
+    exempt: tuple[str, ...] = (),
+) -> Callable[[type], type]:
+    """Class decorator that registers a lint rule under ``code``."""
+    if not _CODE_PATTERN.match(code):
+        raise ValueError(f"rule code must match RPLxxx, got {code!r}")
+
+    def decorator(factory: type) -> type:
+        existing = _RULES.get(code)
+        if existing is not None and existing.factory is not factory:
+            raise ValueError(f"rule {code!r} is already registered ({existing.factory!r})")
+        clashing = next((spec for spec in _RULES.values() if spec.name == name and spec.code != code), None)
+        if clashing is not None:
+            raise ValueError(f"rule symbol {name!r} is already taken by {clashing.code}")
+        _RULES[code] = RuleSpec(
+            code=code,
+            name=name,
+            summary=summary,
+            rationale=rationale,
+            scopes=tuple(scopes),
+            exempt=tuple(exempt),
+            factory=factory,
+        )
+        return factory
+
+    return decorator
+
+
+def unregister_rule(code: str) -> None:
+    """Remove a registration (plugin teardown / tests); unknown codes are a no-op."""
+    _RULES.pop(code, None)
+
+
+def ensure_builtin_rules() -> None:
+    """Import the modules whose decorators register the shipped rules."""
+    import repro.analysis.rules  # noqa: F401  (registers the eight RPL rules)
+
+
+def available_rules() -> tuple[RuleSpec, ...]:
+    """All registered rule specs, sorted by code."""
+    ensure_builtin_rules()
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+def get_rule(code: str) -> RuleSpec:
+    """Look up a registered rule; unknown codes list every valid one."""
+    ensure_builtin_rules()
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {code!r}; registered: {', '.join(spec.code for spec in available_rules())}"
+        ) from None
+
+
+def iter_rules(codes: Iterable[str] | None = None) -> Iterator[RuleSpec]:
+    """The specs for ``codes`` (or every registered rule when ``None``)."""
+    if codes is None:
+        yield from available_rules()
+        return
+    for code in codes:
+        yield get_rule(code)

@@ -1,0 +1,100 @@
+"""Rendering lint results: human text and schema-stable JSON.
+
+The JSON document is a published interface — CI uploads it as an
+artifact and downstream tooling parses it — so its shape is versioned
+(``REPORT_SCHEMA_VERSION``) and locked by tests.  Fields are only ever
+added, never renamed or removed, without a version bump.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import TYPE_CHECKING, Sequence
+
+from repro.analysis.registry import available_rules
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.baseline import BaselineMatch
+    from repro.analysis.engine import LintResult
+    from repro.analysis.findings import Finding
+
+__all__ = ["REPORT_SCHEMA_VERSION", "render_json", "render_text"]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def _finding_payload(finding: "Finding", baselined: bool) -> dict[str, object]:
+    return {
+        "code": finding.code,
+        "symbol": finding.symbol,
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "message": finding.message,
+        "baselined": baselined,
+    }
+
+
+def render_json(result: "LintResult", match: "BaselineMatch") -> str:
+    """The versioned JSON report (see docs/guides/lint.md for the schema)."""
+    baselined_budget = Counter(finding.fingerprint() for finding in match.baselined)
+    findings = []
+    for finding in result.findings:
+        baselined = baselined_budget.get(finding.fingerprint(), 0) > 0
+        if baselined:
+            baselined_budget[finding.fingerprint()] -= 1
+        findings.append(_finding_payload(finding, baselined))
+    rule_counts: dict[str, int] = {}
+    for finding in match.new:
+        rule_counts[finding.code] = rule_counts.get(finding.code, 0) + 1
+    document = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "findings": len(match.new),
+            "baselined": len(match.baselined),
+            "suppressed": result.suppressed,
+            "stale_baseline": len(match.stale),
+            "clean": not match.new and not match.stale,
+        },
+        "rules": [
+            {
+                "code": spec.code,
+                "name": spec.name,
+                "summary": spec.summary,
+                "scopes": list(spec.scopes),
+                "findings": rule_counts.get(spec.code, 0),
+            }
+            for spec in available_rules()
+        ],
+        "findings": findings,
+        "stale_baseline": list(match.stale),
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+
+
+def _text_lines(findings: Sequence["Finding"], tag: str) -> list[str]:
+    return [f"{finding.location()}: {finding.code} [{finding.symbol}]{tag} {finding.message}" for finding in findings]
+
+
+def render_text(result: "LintResult", match: "BaselineMatch", *, show_baselined: bool = False) -> str:
+    """The human report: one line per finding, then a one-line summary."""
+    lines = _text_lines(match.new, "")
+    if show_baselined and match.baselined:
+        lines += _text_lines(match.baselined, " (baselined)")
+    for entry in match.stale:
+        lines.append(
+            f"{entry['path']}: stale baseline entry for {entry['code']} "
+            f"({str(entry['message'])[:60]}...) — remove it from the baseline"
+        )
+    summary = (
+        f"{result.files_scanned} files scanned: {len(match.new)} finding(s), "
+        f"{len(match.baselined)} baselined, {result.suppressed} suppressed, "
+        f"{len(match.stale)} stale baseline entr{'y' if len(match.stale) == 1 else 'ies'}"
+    )
+    if not match.new and not match.stale:
+        summary += " — clean"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"

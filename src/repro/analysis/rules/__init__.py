@@ -1,0 +1,17 @@
+"""The shipped reprolint rules, one module per invariant family.
+
+Importing this package registers every built-in rule; the explicit
+imports below are the side-effect-import idiom rule ``RPL007`` itself
+enforces (each carries an explanatory ``noqa``).
+"""
+
+from __future__ import annotations
+
+import repro.analysis.rules.determinism  # noqa: F401  (registers RPL001)
+import repro.analysis.rules.dtype  # noqa: F401  (registers RPL002)
+import repro.analysis.rules.pickling  # noqa: F401  (registers RPL003)
+import repro.analysis.rules.serialization  # noqa: F401  (registers RPL004)
+import repro.analysis.rules.shared_state  # noqa: F401  (registers RPL005)
+import repro.analysis.rules.atomic_writes  # noqa: F401  (registers RPL006)
+import repro.analysis.rules.registries  # noqa: F401  (registers RPL007)
+import repro.analysis.rules.hooks  # noqa: F401  (registers RPL008)

@@ -1,0 +1,108 @@
+"""RPL001 — nondeterminism sources outside the sanctioned RNG plumbing.
+
+Every guarantee the parity suites enforce at runtime — bit-identical
+serial/thread/process histories, scenario and resume parity — rests on
+randomness being a pure function of ``(seed, round, client)``.  One call
+into process-global RNG state (``np.random.shuffle``, ``random.random``)
+or the wall clock (``time.time``, ``datetime.now``) silently breaks that
+for every configuration the runtime suites do not happen to run.  This
+rule bans those calls everywhere in ``src/`` except
+:mod:`repro.engine.rng`, the one module allowed to construct entropy.
+
+Measurement clocks (``time.perf_counter``, ``time.monotonic``) are
+allowed: they time work, they never feed results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import FileContext
+    from repro.analysis.findings import Finding
+
+#: numpy.random attributes that do NOT touch the global generator
+_NUMPY_SANCTIONED = {
+    "default_rng",
+    "SeedSequence",
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: calls that read the wall clock or OS entropy (never reproducible)
+_BANNED_EXACT = {
+    "time.time": "wall-clock entropy",
+    "time.time_ns": "wall-clock entropy",
+    "datetime.datetime.now": "wall-clock entropy",
+    "datetime.datetime.utcnow": "wall-clock entropy",
+    "datetime.datetime.today": "wall-clock entropy",
+    "datetime.date.today": "wall-clock entropy",
+    "uuid.uuid1": "host/clock entropy",
+    "uuid.uuid4": "OS entropy",
+    "os.urandom": "OS entropy",
+}
+
+#: seedable constructors that fall back to OS entropy when called bare
+_NEEDS_SEED = {"numpy.random.default_rng", "numpy.random.SeedSequence"}
+
+
+@register_rule(
+    "RPL001",
+    name="global-rng",
+    summary="global RNG, wall-clock or OS-entropy call outside repro.engine.rng",
+    rationale=(
+        "randomness must be a pure function of (seed, round, client) or the "
+        "serial/thread/process and resume parity guarantees silently break"
+    ),
+    exempt=("repro/engine/rng.py",),
+)
+class GlobalRandomnessRule(Rule):
+    """Flag calls into process-global RNG state and wall-clock entropy."""
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Finding"]:
+        """Scan every call; report the resolved dotted name that is banned."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node)
+            if resolved is None:
+                continue
+            if resolved in _BANNED_EXACT:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{resolved}() is {_BANNED_EXACT[resolved]}; results must be a pure "
+                    "function of (seed, round, client) — derive times from the virtual "
+                    "clock and randomness from repro.engine.rng streams",
+                )
+            elif resolved in _NEEDS_SEED and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{resolved}() without a seed draws OS entropy; pass explicit "
+                    "entropy (a seed tuple or a SeedSequence from repro.engine.rng)",
+                )
+            elif resolved.startswith("numpy.random."):
+                attr = resolved[len("numpy.random."):]
+                if attr not in _NUMPY_SANCTIONED and "." not in attr:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{resolved}() mutates numpy's process-global generator; use a "
+                        "per-task Generator from repro.engine.rng.client_stream instead",
+                    )
+            elif resolved.startswith("random.") and resolved != "random.Random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{resolved}() uses the stdlib's process-global generator; use a "
+                    "seeded numpy Generator from repro.engine.rng instead",
+                )

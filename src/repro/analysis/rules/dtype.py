@@ -1,0 +1,75 @@
+"""RPL002 — dtype discipline in the numeric hot paths.
+
+The PR-4 hot-path overhaul moved the whole training stack to float32;
+an un-dtyped ``np.zeros``/``np.arange`` silently materialises float64,
+which both doubles memory traffic and — worse — changes rounding, so a
+single stray allocation can break the bit-parity contract between the
+optimized kernels and their ``*_reference`` twins.  Under
+``repro/nn`` and ``repro/engine`` every array constructor whose default
+dtype is not derived from an input array must say what it means.
+
+``np.array`` is only flagged when its first argument is a literal
+(list/tuple/number/comprehension): ``np.array(existing, copy=True)``
+inherits the source's dtype and stays exact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import FileContext
+    from repro.analysis.findings import Finding
+
+#: constructors whose dtype defaults to float64 regardless of use site
+_CONSTRUCTORS = {"zeros", "ones", "empty", "full", "arange", "array"}
+
+_LITERAL_FIRST_ARG = (ast.List, ast.Tuple, ast.Set, ast.Constant, ast.ListComp, ast.GeneratorExp)
+
+
+@register_rule(
+    "RPL002",
+    name="implicit-dtype",
+    summary="numpy array constructor without an explicit dtype= in a hot path",
+    rationale=(
+        "the training stack is float32 end-to-end (repro.nn.dtype); a stray "
+        "float64 allocation changes rounding and breaks kernel/reference parity"
+    ),
+    scopes=("repro/nn", "repro/engine"),
+)
+class ImplicitDtypeRule(Rule):
+    """Flag ``np.zeros/ones/empty/full/arange/array`` calls without ``dtype=``."""
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Finding"]:
+        """Scan calls resolving to numpy constructors for a missing dtype."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node)
+            if resolved is None or not resolved.startswith("numpy."):
+                continue
+            constructor = resolved[len("numpy."):]
+            if constructor not in _CONSTRUCTORS:
+                continue
+            if any(keyword.arg == "dtype" for keyword in node.keywords):
+                continue
+            if constructor == "zeros" and len(node.args) >= 2:
+                continue  # positional dtype: np.zeros(shape, np.float32)
+            if constructor in {"ones", "empty"} and len(node.args) >= 2:
+                continue
+            if constructor == "arange" and any(
+                isinstance(arg, ast.Constant) and isinstance(arg.value, float) for arg in node.args
+            ):
+                continue  # float step/bounds pin the dtype on purpose
+            if constructor == "array":
+                if not node.args or not isinstance(node.args[0], _LITERAL_FIRST_ARG):
+                    continue  # dtype inherited from an existing array-like
+            yield self.finding(
+                ctx,
+                node,
+                f"numpy.{constructor} without dtype= defaults to float64 in a float32 "
+                "hot path; state the dtype (np.intp for indices, resolve_dtype() for data)",
+            )

@@ -1,0 +1,70 @@
+"""RPL008 — callback ordering: ``on_checkpoint`` closes the round.
+
+The callback contract (:mod:`repro.api.callbacks`) promises that when
+``on_checkpoint`` fires, the round record it receives is final — the
+:class:`repro.store.runstore.RunRecorder` persists exactly what it is
+handed, and resume replays exactly what was persisted.  A driver that
+calls ``on_round_end`` or ``on_evaluate`` *after* ``on_checkpoint`` in
+the same function hands durable storage a stale record: the resumed
+run then diverges from the original, failing resume parity in a way no
+unit test of either callback alone can see.
+
+``on_fit_end`` is exempt — it is the run-level epilogue, defined to
+fire after the last checkpoint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import FileContext
+    from repro.analysis.findings import Finding
+
+#: round-scoped hooks that must precede the round's checkpoint
+_ROUND_HOOKS = {"on_round_start", "on_evaluate", "on_round_end"}
+
+_CHECKPOINT = "on_checkpoint"
+
+
+@register_rule(
+    "RPL008",
+    name="checkpoint-not-last",
+    summary="round hook invoked after on_checkpoint in the same driver function",
+    rationale=(
+        "on_checkpoint persists the record as final; any round hook after it "
+        "mutates state durable storage already wrote, breaking resume parity"
+    ),
+)
+class CheckpointNotLastRule(Rule):
+    """Flag round-hook calls textually after an ``on_checkpoint`` call."""
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Finding"]:
+        """Per function, compare hook call positions against the last checkpoint."""
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            checkpoint_lines: list[int] = []
+            round_hook_calls: list[tuple[ast.Call, str]] = []
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr == _CHECKPOINT:
+                    checkpoint_lines.append(node.lineno)
+                elif node.func.attr in _ROUND_HOOKS:
+                    round_hook_calls.append((node, node.func.attr))
+            if not checkpoint_lines:
+                continue
+            last_checkpoint = max(checkpoint_lines)
+            for call, hook in round_hook_calls:
+                if call.lineno > last_checkpoint:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"{hook}() runs after on_checkpoint (line {last_checkpoint}) in "
+                        f"{func.name}(); the persisted record is already final — move the "
+                        "hook before the checkpoint or re-fire on_checkpoint after it",
+                    )

@@ -1,0 +1,158 @@
+"""RPL003 — pickle-safety of executor task dataclasses.
+
+Everything dispatched through an :class:`repro.engine.base.Executor`
+must survive a round-trip through ``pickle`` or the process executor
+dies at fan-out time — on exactly the configurations the serial CI legs
+never exercise.  This rule inspects every class deriving from
+``ClientTask`` and flags fields that cannot pickle: lambdas as
+defaults, open file handles, thread locks and live generator/iterator
+objects in the annotations.
+
+``default_factory=lambda: ...`` is fine (only the *result* is stored on
+the instance); a field whose default *is* a lambda is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import FileContext
+    from repro.analysis.findings import Finding
+
+#: annotations naming objects that cannot cross a process boundary
+_FORBIDDEN_TYPES = {
+    "typing.Generator",
+    "typing.Iterator",
+    "typing.IO",
+    "typing.TextIO",
+    "typing.BinaryIO",
+    "collections.abc.Generator",
+    "collections.abc.Iterator",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.Event",
+    "threading.Thread",
+    "io.TextIOWrapper",
+    "io.BufferedReader",
+    "io.BufferedWriter",
+}
+
+#: the same names spelled bare (``from typing import Iterator``)
+_FORBIDDEN_BARE = {
+    "Generator",
+    "Iterator",
+    "IO",
+    "TextIO",
+    "BinaryIO",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "Event",
+    "Thread",
+    "TextIOWrapper",
+    "BufferedReader",
+    "BufferedWriter",
+}
+
+#: default-value calls that produce unpicklable objects
+_FORBIDDEN_CALLS = {"open", "threading.Lock", "threading.RLock", "threading.Condition", "threading.Event"}
+
+
+def _is_task_class(node: ast.ClassDef, task_bases: set[str]) -> bool:
+    for base in node.bases:
+        if isinstance(base, ast.Name) and base.id in task_bases:
+            return True
+        if isinstance(base, ast.Attribute) and base.attr in task_bases:
+            return True
+    return False
+
+
+@register_rule(
+    "RPL003",
+    name="unpicklable-task-field",
+    summary="executor task dataclass field that cannot cross a process boundary",
+    rationale=(
+        "tasks fan out through thread AND process executors; a lambda, lock, "
+        "file handle or generator field only fails on the process leg"
+    ),
+)
+class UnpicklableTaskFieldRule(Rule):
+    """Flag unpicklable fields on classes deriving from ``ClientTask``."""
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Finding"]:
+        """Walk task subclasses; vet each field annotation and default."""
+        # transitive within the file: a class deriving from a local task
+        # subclass is itself a task class
+        task_bases = {"ClientTask"}
+        changed = True
+        class_defs = [node for node in ast.walk(ctx.tree) if isinstance(node, ast.ClassDef)]
+        while changed:
+            changed = False
+            for node in class_defs:
+                if node.name not in task_bases and _is_task_class(node, task_bases):
+                    task_bases.add(node.name)
+                    changed = True
+        for node in class_defs:
+            if not _is_task_class(node, task_bases):
+                continue
+            yield from self._check_fields(ctx, node)
+
+    def _check_fields(self, ctx: "FileContext", class_def: ast.ClassDef) -> Iterator["Finding"]:
+        for statement in class_def.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+                name = statement.target.id
+                yield from self._check_annotation(ctx, class_def, name, statement.annotation)
+                if statement.value is not None:
+                    yield from self._check_default(ctx, class_def, name, statement.value)
+            elif isinstance(statement, ast.Assign) and len(statement.targets) == 1 and isinstance(
+                statement.targets[0], ast.Name
+            ):
+                yield from self._check_default(ctx, class_def, statement.targets[0].id, statement.value)
+
+    def _check_annotation(
+        self, ctx: "FileContext", class_def: ast.ClassDef, field_name: str, annotation: ast.AST
+    ) -> Iterator["Finding"]:
+        for node in ast.walk(annotation):
+            resolved = None
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                resolved = ctx.resolve(node)
+            if resolved is None:
+                continue
+            bare = resolved.rsplit(".", 1)[-1]
+            if resolved in _FORBIDDEN_TYPES or (resolved == bare and bare in _FORBIDDEN_BARE):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"task {class_def.name}.{field_name} is annotated {resolved}, which "
+                    "cannot pickle to a worker process; carry plain data and rebuild "
+                    "the live object inside run()",
+                )
+                return
+
+    def _check_default(
+        self, ctx: "FileContext", class_def: ast.ClassDef, field_name: str, value: ast.AST
+    ) -> Iterator["Finding"]:
+        if isinstance(value, ast.Lambda):
+            yield self.finding(
+                ctx,
+                value,
+                f"task {class_def.name}.{field_name} defaults to a lambda; lambdas "
+                "cannot pickle — use a module-level function (default_factory is fine)",
+            )
+            return
+        if isinstance(value, ast.Call):
+            resolved = ctx.resolve_call(value)
+            if resolved in _FORBIDDEN_CALLS:
+                yield self.finding(
+                    ctx,
+                    value,
+                    f"task {class_def.name}.{field_name} defaults to {resolved}(), an "
+                    "unpicklable live resource; open it inside run() on the worker",
+                )

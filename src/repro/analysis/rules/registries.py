@@ -1,0 +1,113 @@
+"""RPL007 — registry hygiene: explained side-effect imports, unique names.
+
+The codebase's registries (algorithms, scenarios, lint rules) fill in
+at import time, which forces ``import x  # noqa: F401`` lines whose
+whole purpose is the side effect.  Those are legitimate exactly when
+they say so: a bare ``# noqa: F401`` with no explanation is
+indistinguishable from a stale import someone silenced instead of
+deleting.  This rule requires the explanation text, and — project-wide
+— flags two ``register_*`` calls claiming the same string name, which
+at import time raises at best and last-writer-wins at worst.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import FileContext
+    from repro.analysis.findings import Finding
+
+# a noqa is "bare" when nothing but line end (or another comment, e.g. an
+# inline reprolint suppression) follows the code list — explanation text counts
+_BARE_NOQA = re.compile(r"#\s*noqa(?::\s*([A-Z0-9, ]+?))?\s*(?:#|$)")
+
+#: keyword args that carry the registered name when it is not positional
+_NAME_KEYWORDS = ("name", "code")
+
+
+def _registered_name(call: ast.Call) -> str | None:
+    candidate: ast.expr | None = call.args[0] if call.args else None
+    for keyword in call.keywords:
+        if keyword.arg in _NAME_KEYWORDS:
+            candidate = keyword.value
+    if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+        return candidate.value
+    return None
+
+
+def _register_calls(ctx: "FileContext") -> Iterator[tuple[ast.Call, str, str]]:
+    """Yield (call, registry function name, registered string name) triples."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        bare = func.id if isinstance(func, ast.Name) else func.attr if isinstance(func, ast.Attribute) else None
+        if bare is None or not bare.startswith("register_"):
+            continue
+        name = _registered_name(node)
+        if name is not None:
+            yield node, bare, name
+
+
+@register_rule(
+    "RPL007",
+    name="registry-hygiene",
+    summary="unexplained side-effect import or duplicate registration name",
+    rationale=(
+        "import-time registries depend on noqa'd imports that say why they "
+        "exist, and on names being unique across the whole project"
+    ),
+)
+class RegistryHygieneRule(Rule):
+    """Check side-effect imports per file and registration names project-wide."""
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Finding"]:
+        """Require explanation text after ``# noqa`` on import lines."""
+        import_lines = {
+            node.lineno
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.Import, ast.ImportFrom))
+        }
+        for lineno in sorted(import_lines):
+            line = ctx.lines[lineno - 1] if lineno <= len(ctx.lines) else ""
+            if _BARE_NOQA.search(line):
+                yield from self._finding_at(
+                    ctx,
+                    lineno,
+                    "side-effect import silenced with a bare noqa; say why it exists, "
+                    'e.g. "# noqa: F401  (registers the four baselines)", or delete it',
+                )
+
+    def check_project(self, contexts: Iterable["FileContext"]) -> Iterator["Finding"]:
+        """Flag the second (and later) registration of a duplicated name."""
+        seen: dict[tuple[str, str], str] = {}
+        for ctx in contexts:
+            for call, registry, name in _register_calls(ctx):
+                key = (registry, name)
+                first = seen.get(key)
+                if first is None:
+                    seen[key] = f"{ctx.display_path}:{call.lineno}"
+                else:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"{registry}({name!r}) also registered at {first}; registry names "
+                        "must be unique or import order decides which wins",
+                    )
+
+    def _finding_at(self, ctx: "FileContext", lineno: int, message: str) -> Iterator["Finding"]:
+        from repro.analysis.findings import Finding
+
+        yield Finding(
+            path=ctx.display_path,
+            line=lineno,
+            column=0,
+            code=self.spec.code,
+            message=message,
+            symbol=self.spec.name,
+        )

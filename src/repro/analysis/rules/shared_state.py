@@ -1,0 +1,160 @@
+"""RPL005 — module-level mutable state mutated from function bodies.
+
+A module-level dict or list mutated inside functions is shared across
+every thread of the thread executor and silently *diverges* across the
+processes of the process executor — the exact class of bug the parity
+suites exist to catch, except these only misbehave under load.  The
+rule finds module-level mutable containers and reports every mutation
+site inside a function body.
+
+Two idioms are sanctioned by design rather than baselined:
+
+* registries — mutations inside functions named ``register*`` /
+  ``unregister*`` / ``ensure_*`` (including nested decorator closures),
+  which are import-time-only writes protected by the duplicate check;
+* intentional per-process caches (``_SCATTER_INDEX_CACHE``, worker
+  transport caches) — these are *meant* to diverge per process and are
+  grandfathered in the committed baseline where each entry documents
+  the why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import FileContext
+    from repro.analysis.findings import Finding
+
+#: constructor calls that build a mutable container
+_MUTABLE_FACTORIES = {"dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter"}
+
+#: method names that mutate their receiver in place
+_MUTATOR_METHODS = {
+    "append",
+    "add",
+    "update",
+    "pop",
+    "popitem",
+    "clear",
+    "setdefault",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "appendleft",
+    "popleft",
+}
+
+#: enclosing-function name prefixes whose writes are sanctioned registry plumbing
+_SANCTIONED_PREFIXES = ("register", "unregister", "_register", "_unregister", "ensure_", "_ensure_")
+
+
+def _module_level_mutables(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for statement in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        if value is None:
+            continue
+        is_mutable = isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp))
+        if isinstance(value, ast.Call):
+            callee = value.func
+            bare = callee.id if isinstance(callee, ast.Name) else callee.attr if isinstance(callee, ast.Attribute) else None
+            is_mutable = bare in _MUTABLE_FACTORIES
+        if not is_mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_sanctioned(stack: list[ast.FunctionDef]) -> bool:
+    return any(func.name.startswith(_SANCTIONED_PREFIXES) for func in stack)
+
+
+def _root_name(node: ast.expr) -> str | None:
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@register_rule(
+    "RPL005",
+    name="shared-mutable-state",
+    summary="module-level mutable container mutated from a function body",
+    rationale=(
+        "module globals are shared across executor threads and diverge across "
+        "processes; only registries and documented per-process caches may do this"
+    ),
+)
+class SharedMutableStateRule(Rule):
+    """Flag function-body mutations of module-level containers."""
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Finding"]:
+        """Find module-level containers, then walk functions for mutations."""
+        mutables = _module_level_mutables(ctx.tree)
+        if not mutables:
+            return
+        yield from self._walk(ctx, ctx.tree, mutables, [])
+
+    def _walk(
+        self,
+        ctx: "FileContext",
+        node: ast.AST,
+        mutables: set[str],
+        stack: list[ast.FunctionDef],
+    ) -> Iterator["Finding"]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # a local rebinding shadows the global inside this function
+                shadowed = {
+                    target.id
+                    for sub in ast.walk(child)
+                    for target in getattr(sub, "targets", [])
+                    if isinstance(sub, ast.Assign) and isinstance(target, ast.Name)
+                }
+                declared_global = {
+                    name for sub in ast.walk(child) if isinstance(sub, ast.Global) for name in sub.names
+                }
+                visible = (mutables - shadowed) | (mutables & declared_global)
+                yield from self._walk(ctx, child, visible, [*stack, child])
+            else:
+                if stack and not _is_sanctioned(stack):
+                    yield from self._check_statement(ctx, child, mutables, stack[-1])
+                yield from self._walk(ctx, child, mutables, stack)
+
+    def _check_statement(
+        self, ctx: "FileContext", node: ast.AST, mutables: set[str], func: ast.FunctionDef
+    ) -> Iterator["Finding"]:
+        target: ast.expr | None = None
+        if isinstance(node, (ast.Assign, ast.Delete)):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Subscript) and _root_name(tgt) in mutables:
+                    target = tgt
+                    break
+        elif isinstance(node, ast.AugAssign):
+            if _root_name(node.target) in mutables:
+                target = node.target
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if isinstance(call.func, ast.Attribute) and call.func.attr in _MUTATOR_METHODS:
+                if _root_name(call.func.value) in mutables:
+                    target = call
+        if target is not None:
+            name = _root_name(target if not isinstance(target, ast.Call) else target.func.value)
+            yield self.finding(
+                ctx,
+                node if hasattr(node, "lineno") else target,
+                f"{func.name}() mutates module-level container {name!r}; shared across "
+                "executor threads and divergent across processes — pass state "
+                "explicitly, or document a deliberate per-process cache in the baseline",
+            )

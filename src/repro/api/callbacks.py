@@ -10,7 +10,12 @@
 * ``on_checkpoint(algorithm, record)`` — last hook of every round, once
   the record is final (including the late evaluation an early stop
   triggers); the durable-state hook the experiment store's
-  :class:`repro.store.RunRecorder` persists checkpoints from,
+  :class:`repro.store.RunRecorder` persists checkpoints from.  If a
+  checkpoint callback itself requests a stop, the driver evaluates the
+  record and *re-fires* ``on_checkpoint`` so durable state always saw
+  the final record — it may therefore fire twice for one round, with
+  the same round index (reprolint rule ``RPL008`` enforces this
+  ordering statically),
 * ``on_fit_end(algorithm, history)`` — once, when the loop exits (also on
   early stop).
 
@@ -65,6 +70,9 @@ class Callback:
         an early stop can trigger, so the record it sees is exactly what
         the history keeps — the safe place to persist durable state
         (:class:`repro.store.RunRecorder` writes its checkpoints here).
+        When a checkpoint callback requests a stop, the hook re-fires with
+        the same (now evaluated) record; implementations must be
+        idempotent per round index.
         """
 
     def on_fit_end(self, algorithm: "FederatedAlgorithm", history: "TrainingHistory") -> None:

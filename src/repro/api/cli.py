@@ -31,6 +31,12 @@ Three subcommands drive the whole experiment layer from a shell:
 * ``repro report`` — regenerate ``report.md``/``report.json`` from a
   store's completed runs, nothing else.
 
+* ``repro lint`` — run *reprolint*, the repo's determinism & invariant
+  linter (:mod:`repro.analysis`), against ``src/`` or any path::
+
+      python -m repro lint --strict
+      python -m repro lint src/repro/nn --rules RPL002 --format json
+
 Both ``run`` and ``compare`` write one ``<algorithm>_history.json`` per
 run plus ``summary.json`` (and echo the resolved ``spec.json``) into
 ``--output-dir``, and stream progress unless ``--quiet``; with
@@ -189,6 +195,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="re-run every cell even when the store already completed it (default: resume)",
     )
+
+    lint = subparsers.add_parser("lint", help="run reprolint, the determinism & invariant linter")
+    lint.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint (default: src)")
+    lint.add_argument("--rules", default=None, help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--format", default="text", choices=["text", "json"], help="report format")
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: reprolint_baseline.json in the cwd when present)",
+    )
+    lint.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write every current finding to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail (exit 1) on stale baseline entries, not just new findings",
+    )
+    lint.add_argument("--output", type=Path, default=None, help="write the report to a file (atomic)")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+    lint.set_defaults(handler=_cmd_lint)
 
     report = subparsers.add_parser("report", help="regenerate report.md/report.json from a store")
     report.add_argument("--store", type=Path, required=True, help="RunStore directory to read")
@@ -408,6 +439,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     written = write_report(args.store)
     print("wrote:", ", ".join(str(path) for path in written))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

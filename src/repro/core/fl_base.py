@@ -715,6 +715,11 @@ class FederatedAlgorithm(ABC):
                     if record.full_accuracy is None:
                         self._record_evaluation(record)
                         callback_list.on_evaluate(self, record)
+                        # re-persist: durable-state callbacks must see the
+                        # final, evaluated record — on_checkpoint stays the
+                        # round's last hook (checkpoints overwrite by round
+                        # index, so the re-fire is idempotent)
+                        callback_list.on_checkpoint(self, record)
                     break
         finally:
             # release worker pools between runs; a later run() or run_round()

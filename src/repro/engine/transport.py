@@ -30,10 +30,10 @@ round trip is lossless by construction (property-tested in
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import tempfile
-import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -58,6 +58,9 @@ __all__ = [
 #: memory stays bounded even for fleets with many more clients than this.
 _WORKER_CACHE_MAX_STREAMS = 64
 _WORKER_STATE_CACHE: "OrderedDict[str, tuple[int, Mapping[str, np.ndarray]]]" = OrderedDict()
+
+#: store-id allocator; server-side only, unique for the process lifetime
+_STORE_IDS = itertools.count()
 
 
 def _cache_put(store_id: str, version: int, state) -> None:
@@ -126,7 +129,11 @@ class StateStore:
 
     def __init__(self, label: str = "state"):
         self.label = label
-        self.store_id = f"{label}-{uuid.uuid4().hex}"
+        # a process-wide counter, not uuid4: store ids are cache-key
+        # namespaces (identity, not data) and stores are only ever created
+        # server-side, so a monotonic id is unique for the process lifetime
+        # and keeps the whole run free of OS entropy (reprolint RPL001)
+        self.store_id = f"{label}-{next(_STORE_IDS)}"
         self.version = 0
         self._spill_dir: str | None = None
         self._spill_path: str | None = None

@@ -69,7 +69,7 @@ class AlgorithmResult:
             profile=profile,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict:  # reprolint: disable=RPL004  (one-way result output)
         """JSON-friendly summary plus the full round-by-round history."""
         payload = {
             "algorithm": self.algorithm,

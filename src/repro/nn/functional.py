@@ -426,12 +426,12 @@ def maxpool2d_backward_reference(grad_out: np.ndarray, cache: tuple) -> np.ndarr
 
     ki = argmax // kernel
     kj = argmax % kernel
-    oi = np.arange(out_h)[None, None, :, None]
-    oj = np.arange(out_w)[None, None, None, :]
+    oi = np.arange(out_h, dtype=np.intp)[None, None, :, None]
+    oj = np.arange(out_w, dtype=np.intp)[None, None, None, :]
     rows = oi * stride + ki
     cols = oj * stride + kj
-    ni = np.arange(n)[:, None, None, None]
-    ci = np.arange(c)[None, :, None, None]
+    ni = np.arange(n, dtype=np.intp)[:, None, None, None]
+    ci = np.arange(c, dtype=np.intp)[None, :, None, None]
     np.add.at(grad_x, (ni, ci, rows, cols), grad_out)
     return grad_x
 
@@ -491,5 +491,5 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
         raise ValueError(f"labels out of range for {num_classes} classes")
     out = np.zeros((labels.shape[0], num_classes), dtype=resolve_dtype())
-    out[np.arange(labels.shape[0]), labels] = 1.0
+    out[np.arange(labels.shape[0], dtype=np.intp), labels] = 1.0
     return out

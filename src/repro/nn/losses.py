@@ -42,7 +42,7 @@ class CrossEntropyLoss:
             return float(loss)
         # hard labels: gather the target log-probabilities directly, no
         # one-hot materialisation
-        picked = log_probs[np.arange(logits.shape[0]), targets]
+        picked = log_probs[np.arange(logits.shape[0], dtype=np.intp), targets]
         self._cache = (probs, None, targets)
         return float(-picked.mean())
 
@@ -54,7 +54,7 @@ class CrossEntropyLoss:
         if target_dist is not None:
             return (probs - target_dist) / probs.shape[0]
         grad = probs  # freshly exp'd in forward: safe to consume in place
-        grad[np.arange(grad.shape[0]), targets] -= 1.0
+        grad[np.arange(grad.shape[0], dtype=np.intp), targets] -= 1.0
         grad /= grad.shape[0]
         return grad
 

@@ -341,7 +341,7 @@ def unregister_scenario(name: str) -> None:
 
 def ensure_builtin_scenarios() -> None:
     """Import the module whose decorators register the shipped library."""
-    import repro.sim.library  # noqa: F401
+    import repro.sim.library  # noqa: F401  (registers the shipped fleet scenarios)
 
 
 def available_scenarios() -> tuple[str, ...]:

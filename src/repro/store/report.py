@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.store.objects import write_atomic
 from repro.store.runstore import RunEntry, RunStore
 
 __all__ = ["ReportBundle", "generate_report", "write_report"]
@@ -35,8 +36,8 @@ class ReportBundle:
         directory.mkdir(parents=True, exist_ok=True)
         md_path = directory / "report.md"
         json_path = directory / "report.json"
-        md_path.write_text(self.markdown, encoding="utf-8")
-        json_path.write_text(json.dumps(self.payload, indent=2) + "\n", encoding="utf-8")
+        write_atomic(md_path, self.markdown)
+        write_atomic(json_path, json.dumps(self.payload, indent=2) + "\n")
         return [md_path, json_path]
 
 

@@ -364,4 +364,8 @@ class RunRecorder(Callback):
         if not (due or stopping or is_last):
             return
         self.store.save_checkpoint(self.run_id, algorithm.checkpoint_state(), keep=self.keep)
-        self.saved_rounds.append(record.round_index)
+        # the driver re-fires on_checkpoint when a checkpoint callback stops
+        # the run (the record gains its late evaluation); the manifest write
+        # above overwrites by round index, so only the log needs deduping
+        if not self.saved_rounds or self.saved_rounds[-1] != record.round_index:
+            self.saved_rounds.append(record.round_index)

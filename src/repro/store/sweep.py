@@ -160,7 +160,7 @@ class CellResult:
     status: str
     result: AlgorithmResult
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict:  # reprolint: disable=RPL004  (one-way result output)
         """JSON-friendly summary (history lives in the store, not here)."""
         return {
             "algorithm": self.cell.algorithm,
@@ -188,7 +188,7 @@ class SweepResult:
             counts[cell.status] = counts.get(cell.status, 0) + 1
         return counts
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict:  # reprolint: disable=RPL004  (one-way result output)
         """JSON-friendly summary of the whole invocation."""
         return {
             "sweep": self.sweep.to_dict(),

@@ -1,0 +1,20 @@
+"""RPL001 fixture: every kind of banned entropy."""
+import random
+import time
+import uuid
+
+import numpy as np
+
+
+def shuffle_clients(clients):
+    np.random.shuffle(clients)
+    return clients
+
+
+def sample():
+    rng = np.random.default_rng()
+    return rng.random() + random.random()
+
+
+def stamp():
+    return time.time(), uuid.uuid4()

@@ -1,0 +1,20 @@
+"""RPL001 fixture: sanctioned randomness and measurement clocks only."""
+import time
+
+import numpy as np
+
+
+def shuffle_clients(clients, seed):
+    rng = np.random.default_rng(seed)
+    rng.shuffle(clients)
+    return clients
+
+
+def streams(seed):
+    return np.random.SeedSequence(seed).spawn(4)
+
+
+def timed(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start

@@ -1,0 +1,6 @@
+"""RPL001 fixture: violations waved through inline."""
+import time
+
+
+def stamp():
+    return time.time()  # reprolint: disable=RPL001

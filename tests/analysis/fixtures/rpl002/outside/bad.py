@@ -1,0 +1,6 @@
+"""RPL002 fixture: same code, outside the rule's scopes — never flagged."""
+import numpy as np
+
+
+def allocate(n):
+    return np.zeros((n, n))

@@ -1,0 +1,9 @@
+"""RPL002 fixture: un-dtyped constructors in a hot path."""
+import numpy as np
+
+
+def allocate(n):
+    grad = np.zeros((n, n))
+    index = np.arange(n)
+    bias = np.array([1, 2, 3])
+    return grad, index, bias

@@ -1,0 +1,10 @@
+"""RPL002 fixture: every constructor states its dtype (or inherits one)."""
+import numpy as np
+
+
+def allocate(n, like):
+    grad = np.zeros((n, n), dtype=np.float32)
+    index = np.arange(n, dtype=np.intp)
+    copy = np.array(like, copy=True)
+    ticks = np.arange(0.0, 1.0, 0.25)
+    return grad, index, copy, ticks

@@ -1,0 +1,6 @@
+"""RPL002 fixture: an un-dtyped allocation waved through inline."""
+import numpy as np
+
+
+def allocate(n):
+    return np.zeros((n, n))  # reprolint: disable=RPL002

@@ -1,0 +1,18 @@
+"""RPL003 fixture: task fields that cannot cross a process boundary."""
+import threading
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine.base import ClientTask
+
+
+@dataclass
+class BadTask(ClientTask):
+    batches: Iterator
+    guard: threading.Lock = threading.Lock()
+    hook = lambda record: record
+
+
+@dataclass
+class DerivedBadTask(BadTask):
+    handle = open("/tmp/x", "r")

@@ -1,0 +1,11 @@
+"""RPL003 fixture: plain-data task fields pickle fine."""
+from dataclasses import dataclass, field
+
+from repro.engine.base import ClientTask
+
+
+@dataclass
+class CleanTask(ClientTask):
+    client_id: int
+    seed: tuple = (0, 0, 0)
+    payload: dict = field(default_factory=dict)

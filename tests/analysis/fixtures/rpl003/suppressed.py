@@ -1,0 +1,10 @@
+"""RPL003 fixture: an unpicklable field waved through inline."""
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine.base import ClientTask
+
+
+@dataclass
+class WavedTask(ClientTask):
+    batches: Iterator  # reprolint: disable=RPL003

@@ -1,0 +1,22 @@
+"""RPL004 fixture: one-way and lax serialization pairs."""
+from dataclasses import dataclass
+
+
+@dataclass
+class WriteOnly:
+    value: int
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+
+@dataclass
+class LaxReader:
+    value: int
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(value=payload["value"])

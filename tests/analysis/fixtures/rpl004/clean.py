@@ -1,0 +1,22 @@
+"""RPL004 fixture: a strict to_dict/from_dict pair."""
+from dataclasses import dataclass
+
+from repro.core.serialization import checked_payload
+
+
+@dataclass
+class Strict:
+    value: int
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload):
+        data = checked_payload(cls, payload)
+        return cls(value=int(data["value"]))
+
+
+class NotADataclass:
+    def to_dict(self) -> dict:
+        return {}

@@ -1,0 +1,10 @@
+"""RPL004 fixture: a one-way output dataclass waved through inline."""
+from dataclasses import dataclass
+
+
+@dataclass
+class OutputOnly:
+    value: int
+
+    def to_dict(self) -> dict:  # reprolint: disable=RPL004
+        return {"value": self.value}

@@ -1,0 +1,15 @@
+"""RPL005 fixture: module-level containers mutated from functions."""
+_CACHE = {}
+_LOG = []
+
+
+def remember(key, value):
+    _CACHE[key] = value
+
+
+def note(message):
+    _LOG.append(message)
+
+
+def forget(key):
+    _CACHE.pop(key, None)

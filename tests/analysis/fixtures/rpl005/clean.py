@@ -1,0 +1,21 @@
+"""RPL005 fixture: registries and locals are sanctioned."""
+_REGISTRY = {}
+
+
+def register_widget(name):
+    def decorator(factory):
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorator
+
+
+def ensure_builtin_widgets():
+    _REGISTRY.setdefault("default", object)
+
+
+def local_state(items):
+    cache = {}
+    for item in items:
+        cache[item] = item
+    return cache

@@ -1,0 +1,6 @@
+"""RPL005 fixture: a deliberate per-process cache waved through inline."""
+_CACHE = {}
+
+
+def remember(key, value):
+    _CACHE[key] = value  # reprolint: disable=RPL005

@@ -1,0 +1,17 @@
+"""RPL006 fixture: raw writes inside the store layer."""
+import json
+from pathlib import Path
+
+
+def save(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))
+
+
+def append_log(path: Path, line: str) -> None:
+    with open(path, "a") as stream:
+        stream.write(line)
+
+
+def dump(path: Path, payload: dict) -> None:
+    with open(path) as stream:
+        json.dump(payload, stream)

@@ -1,0 +1,18 @@
+"""RPL006 fixture: reads are fine; writes go through write_atomic."""
+import json
+from pathlib import Path
+
+from repro.store.objects import write_atomic
+
+
+def save(path: Path, payload: dict) -> None:
+    write_atomic(path, json.dumps(payload))
+
+
+def load(path: Path) -> dict:
+    with open(path) as stream:
+        return json.load(stream)
+
+
+def peek(path: Path) -> str:
+    return path.read_text()

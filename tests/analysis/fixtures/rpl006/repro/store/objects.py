@@ -1,0 +1,6 @@
+"""RPL006 fixture: the exempt module — raw writes are its whole job."""
+
+
+def write_atomic(path, payload):
+    with open(path, "w") as stream:
+        stream.write(payload)

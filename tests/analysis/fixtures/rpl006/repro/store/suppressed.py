@@ -1,0 +1,6 @@
+"""RPL006 fixture: a raw write waved through inline."""
+from pathlib import Path
+
+
+def scratch(path: Path, text: str) -> None:
+    path.write_text(text)  # reprolint: disable=RPL006

@@ -1,0 +1,4 @@
+"""RPL007 fixture: a side-effect import with an unexplained noqa."""
+import json  # noqa: F401
+
+print(len("keeps ruff from flagging an empty module"))

@@ -1,0 +1,2 @@
+"""RPL007 fixture: the explained side-effect import idiom."""
+import json  # noqa: F401  (registers the widget codecs)

@@ -1,0 +1,7 @@
+"""RPL007 fixture (project pass): first registration of the name."""
+from widgets import register_widget
+
+
+@register_widget("gear")
+class Gear:
+    pass

@@ -1,0 +1,12 @@
+"""RPL007 fixture (project pass): duplicate registration of the name."""
+from widgets import register_widget
+
+
+@register_widget("gear")
+class OtherGear:
+    pass
+
+
+@register_widget(name="lever")
+class Lever:
+    pass

@@ -1,0 +1,2 @@
+"""RPL007 fixture: a bare noqa waved through inline."""
+import json  # noqa: F401  # reprolint: disable=RPL007

@@ -1,0 +1,7 @@
+"""RPL008 fixture: a round hook fired after the checkpoint."""
+
+
+def run(callbacks, algorithm, record):
+    callbacks.on_round_end(algorithm, record)
+    callbacks.on_checkpoint(algorithm, record)
+    callbacks.on_evaluate(algorithm, record)

@@ -1,0 +1,9 @@
+"""RPL008 fixture: on_checkpoint last (re-fire included); epilogue exempt."""
+
+
+def run(callbacks, algorithm, record, history):
+    callbacks.on_round_start(algorithm, 0)
+    callbacks.on_evaluate(algorithm, record)
+    callbacks.on_round_end(algorithm, record)
+    callbacks.on_checkpoint(algorithm, record)
+    callbacks.on_fit_end(algorithm, history)

@@ -1,0 +1,6 @@
+"""RPL008 fixture: a late hook waved through inline."""
+
+
+def run(callbacks, algorithm, record):
+    callbacks.on_checkpoint(algorithm, record)
+    callbacks.on_evaluate(algorithm, record)  # reprolint: disable=RPL008

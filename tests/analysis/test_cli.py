@@ -1,0 +1,87 @@
+"""``repro lint`` end to end: exit codes, formats, baseline flags."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import build_parser, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture()
+def project(tmp_path, monkeypatch):
+    """A scratch project dir (cwd) with one RPL001 violation."""
+    (tmp_path / "mod.py").write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, project):
+        (project / "mod.py").write_text("x = 1\n")
+        assert main(["lint", "mod.py"]) == 0
+
+    def test_findings_exit_one(self, project):
+        assert main(["lint", "mod.py"]) == 1
+
+    def test_missing_path_is_a_usage_error(self, project, capsys):
+        assert main(["lint", "does/not/exist"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_is_a_usage_error(self, project, capsys):
+        assert main(["lint", "mod.py", "--rules", "RPL999"]) == 2
+        assert "RPL999" in capsys.readouterr().err
+
+    def test_missing_baseline_file_is_a_usage_error(self, project, capsys):
+        assert main(["lint", "mod.py", "--baseline", "nope.json"]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestBaselineFlags:
+    def test_write_then_lint_clean(self, project, capsys):
+        assert main(["lint", "mod.py", "--write-baseline"]) == 0
+        assert (project / "reprolint_baseline.json").exists()
+        assert main(["lint", "mod.py"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_default_baseline_discovered_from_cwd(self, project):
+        main(["lint", "mod.py", "--write-baseline"])
+        assert main(["lint", "mod.py"]) == 0
+        assert main(["lint", "mod.py", "--no-baseline"]) == 1
+
+    def test_stale_entries_fail_only_under_strict(self, project):
+        main(["lint", "mod.py", "--write-baseline"])
+        (project / "mod.py").write_text("x = 1\n")  # fix the violation
+        assert main(["lint", "mod.py"]) == 0
+        assert main(["lint", "mod.py", "--strict"]) == 1
+
+
+class TestFormats:
+    def test_json_format_parses_and_is_versioned(self, project, capsys):
+        assert main(["lint", "mod.py", "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == 1
+        assert document["summary"]["findings"] == 1
+
+    def test_output_writes_the_report_file(self, project, capsys):
+        assert main(["lint", "mod.py", "--format", "json", "--output", "report.json"]) == 1
+        capsys.readouterr()
+        document = json.loads((project / "report.json").read_text())
+        assert document["tool"] == "reprolint"
+
+    def test_list_rules(self, project, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in [f"RPL00{i}" for i in range(1, 9)]:
+            assert code in out
+
+
+class TestHelp:
+    def test_help_lists_every_subcommand(self):
+        help_text = build_parser().format_help()
+        for command in ["run", "compare", "algorithms", "scenarios", "sweep", "lint", "report"]:
+            assert command in help_text
