@@ -37,6 +37,18 @@ Three subcommands drive the whole experiment layer from a shell:
       python -m repro lint --strict
       python -m repro lint src/repro/nn --rules RPL002 --format json
 
+* ``repro serve`` — host the networked federation coordinator
+  (:mod:`repro.serve`) and train over connected ``repro client``
+  workers; accepts the same setting/run flags as ``run`` and prints the
+  bound address before waiting for the client quorum::
+
+      python -m repro serve --algorithm adaptivefl --port 7733 --expect-clients 2
+
+* ``repro client`` — run one networked federated worker against a
+  ``repro serve`` coordinator::
+
+      python -m repro client --host 127.0.0.1 --port 7733 --name worker-0
+
 Both ``run`` and ``compare`` write one ``<algorithm>_history.json`` per
 run plus ``summary.json`` (and echo the resolved ``spec.json``) into
 ``--output-dir``, and stream progress unless ``--quiet``; with
@@ -220,6 +232,49 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--output", type=Path, default=None, help="write the report to a file (atomic)")
     lint.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
     lint.set_defaults(handler=_cmd_lint)
+
+    serve = subparsers.add_parser("serve", help="host the federation coordinator and train over networked clients")
+    serve.add_argument("--algorithm", default=None, help="registered algorithm name (default: adaptivefl)")
+    serve.add_argument("--algorithms", nargs="*", default=None, help="several names, run on the same client fleet")
+    serve.add_argument("--selection-strategy", default=None, help="AdaptiveFL strategy (rl-cs, rl-c, rl-s, random, greedy)")
+    service = serve.add_argument_group("federation service")
+    service.add_argument("--host", default="127.0.0.1", help="interface to bind (default: loopback)")
+    service.add_argument("--port", type=int, default=7733, help="TCP port; 0 binds an ephemeral port")
+    service.add_argument(
+        "--expect-clients", type=int, default=1, help="client quorum each round waits for before dispatching"
+    )
+    service.add_argument(
+        "--connect-timeout", type=float, default=60.0, help="seconds to wait for the quorum (and mid-round rejoins)"
+    )
+    service.add_argument(
+        "--straggler-timeout",
+        type=float,
+        default=60.0,
+        help="seconds before an unanswered task is redispatched to another client; 0 disables",
+    )
+    service.add_argument("--heartbeat-interval", type=float, default=10.0, help="liveness probe cadence in seconds")
+    service.add_argument(
+        "--liveness-timeout", type=float, default=120.0, help="seconds of client silence before its work is requeued"
+    )
+    _add_setting_flags(serve)
+    _add_run_flags(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = subparsers.add_parser("client", help="run one networked federated worker")
+    client.add_argument("--host", default="127.0.0.1", help="coordinator host")
+    client.add_argument("--port", type=int, required=True, help="coordinator port")
+    client.add_argument("--name", required=True, help="stable client identity (reconnects resume under it)")
+    client.add_argument("--reconnect-attempts", type=int, default=10, help="lost-connection retries before giving up")
+    client.add_argument("--backoff-base", type=float, default=0.2, help="first reconnect delay in seconds (doubles)")
+    client.add_argument("--backoff-max", type=float, default=5.0, help="reconnect delay ceiling in seconds")
+    client.add_argument(
+        "--drop-after",
+        type=int,
+        default=None,
+        help="failure injection (tests): close the connection once after computing N results, without uploading",
+    )
+    client.add_argument("--quiet", action="store_true", help="suppress connection log lines")
+    client.set_defaults(handler=_cmd_client)
 
     report = subparsers.add_parser("report", help="regenerate report.md/report.json from a store")
     report.add_argument("--store", type=Path, required=True, help="RunStore directory to read")
@@ -439,6 +494,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     written = write_report(args.store)
     print("wrote:", ", ".join(str(path) for path in written))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.executor import RemoteExecutor
+    from repro.serve.options import configure_serve
+
+    # the whole point of this command is the networked path
+    args.executor = "remote"
+    options = configure_serve(
+        host=args.host,
+        port=args.port,
+        min_clients=args.expect_clients,
+        connect_timeout=args.connect_timeout,
+        straggler_timeout=args.straggler_timeout if args.straggler_timeout > 0 else None,
+        heartbeat_interval=args.heartbeat_interval,
+        liveness_timeout=args.liveness_timeout,
+    )
+    session, spec = _session_from_args(args)
+    names = spec.algorithms or ("adaptivefl",)
+    validate_algorithm_names(names)
+    # one executor for every algorithm: clients stay connected across runs
+    executor = RemoteExecutor(options=options)
+    host, port = executor.start()
+    print(f"repro-serve: listening on {host}:{port}", flush=True)
+    try:
+        for name in names:
+            strategy = session.strategy_for(name) if args.spec is not None else spec.selection_strategy
+            session.run(name, selection_strategy=strategy, executor=executor)
+        return _finish(session, spec, args)
+    finally:
+        executor.shutdown()
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve.client import ClientRunner
+
+    return ClientRunner(
+        args.host,
+        args.port,
+        args.name,
+        reconnect_attempts=args.reconnect_attempts,
+        backoff_base=args.backoff_base,
+        backoff_max=args.backoff_max,
+        drop_after=args.drop_after,
+        quiet=args.quiet,
+    ).run()
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

@@ -72,10 +72,11 @@ class ExperimentSession:
     def with_executor(self, executor: str, max_workers: int | None = None) -> "ExperimentSession":
         """Select the client-execution engine for every run of this session.
 
-        ``executor`` is "serial" (default), "thread" or "process"; all three
-        produce bit-identical histories at a fixed seed, so this is purely a
-        wall-clock knob.  Must be called before the first run (the executor
-        is baked into the prepared experiment's federated config).
+        ``executor`` is "serial" (default), "thread", "process" or
+        "remote"; all of them produce bit-identical histories at a fixed
+        seed, so this is purely a deployment/wall-clock knob.  Must be
+        called before the first run (the executor is baked into the
+        prepared experiment's federated config).
         """
         if self._prepared is not None:
             raise RuntimeError("with_executor must be called before the experiment is prepared")
@@ -162,11 +163,17 @@ class ExperimentSession:
         num_rounds: int | None = None,
         callbacks: Iterable[Callback | Callable[[], Callback]] | None = None,
         resume: bool | None = None,
+        executor: "object | None" = None,
     ) -> AlgorithmResult:
         """Run one registered algorithm on the shared prepared experiment.
 
         ``resume`` overrides the session-level resume policy set by
         :meth:`with_store` for this one run (it requires a store).
+        ``executor`` injects a pre-built, caller-owned executor instance
+        (e.g. a started :class:`~repro.serve.executor.RemoteExecutor`)
+        that the run uses but never shuts down — unlike
+        :meth:`with_executor`, which selects an executor *by name* for
+        the algorithm to build and own.
         """
         validate_algorithm_names([algorithm])
         if resume is None:
@@ -184,6 +191,7 @@ class ExperimentSession:
             store=self._store,
             resume=resume,
             checkpoint_every=self._checkpoint_every,
+            executor=executor,
         )
         self.results[result.algorithm] = result
         return result

@@ -282,6 +282,11 @@ class FederatedAlgorithm(ABC):
         if store is None:
             store = self._state_stores[stream] = StateStore(label=f"{self.name}-{stream}")
         handle = store.publish(state, spill=self.executor.is_interprocess)
+        # rounds are synchronous (map() returns only when every task did),
+        # so once a new version is out nothing can reference versions more
+        # than one behind; keep that one-version straggler window and
+        # release the rest instead of unlinking at publish time
+        store.release_below(store.version - 1)
         if self.profiler.enabled:
             self.profiler.count("transport.publishes")
             if handle.path is not None:

@@ -6,6 +6,7 @@ from repro.engine.base import Executor
 from repro.engine.process import ProcessExecutor
 from repro.engine.serial import SerialExecutor
 from repro.engine.thread import ThreadExecutor
+from repro.serve.executor import RemoteExecutor
 
 __all__ = ["EXECUTORS", "EXECUTOR_NAMES", "create_executor", "validate_executor_choice"]
 
@@ -13,6 +14,7 @@ EXECUTORS: dict[str, type[Executor]] = {
     SerialExecutor.name: SerialExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    RemoteExecutor.name: RemoteExecutor,
 }
 
 #: valid values of ``FederatedConfig.executor`` / the CLI ``--executor`` flag

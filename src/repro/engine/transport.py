@@ -34,9 +34,10 @@ import itertools
 import os
 import pickle
 import tempfile
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -48,6 +49,8 @@ __all__ = [
     "apply_state_delta",
     "decode_upload",
     "state_nbytes",
+    "set_state_fetcher",
+    "server_state_bytes",
 ]
 
 #: per-worker-process LRU cache: store id -> (version, state).  Only the
@@ -62,8 +65,48 @@ _WORKER_STATE_CACHE: "OrderedDict[str, tuple[int, Mapping[str, np.ndarray]]]" = 
 #: store-id allocator; server-side only, unique for the process lifetime
 _STORE_IDS = itertools.count()
 
+#: live server-side stores by id, for serving spill bytes over the wire
+#: (weak values: registration must never extend a store's lifetime)
+_SERVER_STORES: "weakref.WeakValueDictionary[str, StateStore]" = weakref.WeakValueDictionary()
+
+#: optional hook a networked worker installs to resolve handles over the
+#: wire instead of the (server-local) spill path; None outside repro.serve
+_STATE_FETCHER: "Callable[[str, int], Mapping[str, np.ndarray]] | None" = None
+
+
+def set_state_fetcher(fetcher: "Callable[[str, int], Mapping[str, np.ndarray]] | None") -> None:
+    """Install (or clear, with ``None``) the worker-side remote state fetcher.
+
+    When set, :meth:`StateHandle.load` resolves cache misses by calling
+    ``fetcher(store_id, version)`` instead of opening the handle's spill
+    path — which on a networked worker names a file on the *server's*
+    filesystem.  :class:`repro.serve.client.ClientRunner` installs its
+    ``state_request``/``weight_slice`` round-trip here for the duration
+    of its session.
+    """
+    global _STATE_FETCHER
+    _STATE_FETCHER = fetcher
+
+
+def server_state_bytes(store_id: str, version: int) -> bytes:
+    """The pickled spill bytes of one published version of a live store.
+
+    Serves ``state_request`` frames on the coordinator side.  Raises
+    ``KeyError`` when the store is gone or the version was already
+    released — a client asking for it is fatally out of sync.
+    """
+    store = _SERVER_STORES.get(store_id)
+    if store is None:
+        raise KeyError(f"no live state store {store_id!r}")
+    return store.version_bytes(version)
+
 
 def _cache_put(store_id: str, version: int, state) -> None:
+    cached = _WORKER_STATE_CACHE.get(store_id)
+    if cached is not None and cached[0] > version:
+        # never clobber a newer cached version with an out-of-order load
+        # of an older one (stragglers resolve old handles late)
+        return
     _WORKER_STATE_CACHE[store_id] = (version, state)
     _WORKER_STATE_CACHE.move_to_end(store_id)
     while len(_WORKER_STATE_CACHE) > _WORKER_CACHE_MAX_STREAMS:
@@ -107,13 +150,18 @@ class StateHandle:
         if cached is not None and cached[0] == self.version:
             _WORKER_STATE_CACHE.move_to_end(self.store_id)
             return cached[1]
-        if self.path is None:
+        if _STATE_FETCHER is not None:
+            # networked worker: the spill path names a server-side file;
+            # resolve over the wire instead
+            state = _STATE_FETCHER(self.store_id, self.version)
+        elif self.path is None:
             raise RuntimeError(
                 f"state handle v{self.version} of store {self.store_id} has neither an "
                 "inline reference nor a spill path (published for in-process use only?)"
             )
-        with open(self.path, "rb") as stream:
-            state = pickle.load(stream)
+        else:
+            with open(self.path, "rb") as stream:
+                state = pickle.load(stream)
         _cache_put(self.store_id, self.version, state)
         return state
 
@@ -136,7 +184,12 @@ class StateStore:
         self.store_id = f"{label}-{next(_STORE_IDS)}"
         self.version = 0
         self._spill_dir: str | None = None
-        self._spill_path: str | None = None
+        #: version -> spill path; versions are retained until close() or an
+        #: explicit release_below(), never unlinked on the next publish —
+        #: outstanding StateHandles (stragglers, networked workers) may
+        #: still resolve them
+        self._spill_paths: dict[int, str] = {}
+        _SERVER_STORES[self.store_id] = self
 
     def publish(self, state: Mapping[str, np.ndarray], spill: bool = False) -> StateHandle:
         """Register a new version of the state and return its handle."""
@@ -148,22 +201,52 @@ class StateStore:
             path = os.path.join(self._spill_dir, f"v{self.version}.pkl")
             with open(path, "wb") as stream:
                 pickle.dump(state, stream, protocol=pickle.HIGHEST_PROTOCOL)
-            if self._spill_path is not None and self._spill_path != path:
-                try:
-                    os.unlink(self._spill_path)
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
-            self._spill_path = path
+            self._spill_paths[self.version] = path
         return StateHandle(self.store_id, self.version, path, state)
 
-    def close(self) -> None:
-        """Remove spill files (idempotent)."""
-        if self._spill_path is not None:
+    def version_bytes(self, version: int) -> bytes:
+        """The pickled spill bytes of one retained version.
+
+        Raises ``KeyError`` when that version was never spilled or was
+        already released.
+        """
+        try:
+            path = self._spill_paths[version]
+        except KeyError:
+            raise KeyError(
+                f"store {self.store_id!r} does not retain v{version} "
+                f"(current v{self.version}, retained {sorted(self._spill_paths)})"
+            ) from None
+        with open(path, "rb") as stream:
+            return stream.read()
+
+    def release_below(self, version: int) -> None:
+        """Unlink spill files of versions strictly below ``version``.
+
+        Called between rounds once no outstanding handle can reference a
+        version any more, keeping disk usage bounded without the
+        publish-time unlink that used to break stragglers mid-round.
+        """
+        for old in [v for v in self._spill_paths if v < version]:
             try:
-                os.unlink(self._spill_path)
+                os.unlink(self._spill_paths.pop(old))
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
-            self._spill_path = None
+
+    def close(self) -> None:
+        """Remove all retained spill files (idempotent, teardown-safe)."""
+        # during interpreter shutdown module globals may already be torn
+        # down; dropping the bookkeeping is then the only safe move
+        if os is None or getattr(os, "unlink", None) is None:  # pragma: no cover
+            self._spill_paths.clear()
+            self._spill_dir = None
+            return
+        for path in self._spill_paths.values():
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        self._spill_paths.clear()
         if self._spill_dir is not None:
             try:
                 os.rmdir(self._spill_dir)
@@ -172,7 +255,12 @@ class StateStore:
             self._spill_dir = None
 
     def __del__(self):  # pragma: no cover - GC safety net
-        self.close()
+        try:
+            self.close()
+        except Exception:
+            # never raise from a finaliser, least of all at interpreter
+            # shutdown when our own globals may be half torn down
+            pass
 
 
 def _bit_view(tensor: np.ndarray) -> np.ndarray:

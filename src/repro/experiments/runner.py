@@ -95,6 +95,7 @@ def run_algorithm(
     store: "object | str | None" = None,
     resume: bool = False,
     checkpoint_every: int = 1,
+    executor: "object | None" = None,
 ) -> AlgorithmResult:
     """Train one registered algorithm on a prepared experiment.
 
@@ -114,10 +115,18 @@ def run_algorithm(
     completed run returns its stored result without training, and a
     partially checkpointed run restores its latest checkpoint and trains
     only the remaining rounds — bit-identically to an uninterrupted run.
+
+    ``executor`` injects a pre-built, caller-owned executor (see
+    :meth:`~repro.core.fl_base.FederatedAlgorithm.set_executor`) — the
+    run uses it but never shuts it down, so ``repro serve`` can keep one
+    :class:`~repro.serve.executor.RemoteExecutor` (and its connected
+    clients) alive across several algorithms.
     """
     spec = get_algorithm(name)
     if store is None:
         algorithm = spec.build(prepared, selection_strategy=selection_strategy, testbed=testbed, scenario=scenario)
+        if executor is not None:
+            algorithm.set_executor(executor)  # type: ignore[arg-type]
         history = algorithm.run(
             num_rounds=num_rounds, callbacks=_materialize_callbacks(callbacks), profile=profile
         )
@@ -149,6 +158,8 @@ def run_algorithm(
         return AlgorithmResult.from_history(label, store.load_history(entry.run_id))
 
     algorithm = spec.build(prepared, selection_strategy=selection_strategy, scenario=scenario)
+    if executor is not None:
+        algorithm.set_executor(executor)  # type: ignore[arg-type]
     completed = 0
     if resume:
         checkpoint = store.latest_checkpoint(entry.run_id)

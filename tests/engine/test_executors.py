@@ -84,7 +84,7 @@ class TestExecutorContract:
 
 class TestFactory:
     def test_names(self):
-        assert tuple(EXECUTOR_NAMES) == ("serial", "thread", "process")
+        assert tuple(EXECUTOR_NAMES) == ("serial", "thread", "process", "remote")
         assert isinstance(create_executor("serial"), SerialExecutor)
         assert isinstance(create_executor("thread"), ThreadExecutor)
         assert isinstance(create_executor("process"), ProcessExecutor)

@@ -1,0 +1,168 @@
+"""Serial parity of the networked path (``repro.serve``) over loopback.
+
+Same guarantee as ``test_parity.py``, one executor further out: two real
+``repro client`` worker *processes* connected to a
+:class:`~repro.serve.executor.RemoteExecutor` over loopback sockets
+must reproduce the serial histories and final weights **bit-identically**
+— for AdaptiveFL and HeteroFL, across three rounds, and through one
+injected mid-run disconnect (a client drops its connection after
+computing a result without uploading it, forcing the coordinator down
+the requeue/reconnect path).
+
+The test ids contain "remote" on purpose: CI's executor-parity matrix
+filters this suite with ``-k remote``.
+"""
+
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import HeteroFL
+from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig
+from repro.core.server import AdaptiveFL
+from repro.serve.executor import RemoteExecutor
+from repro.serve.options import ServeOptions
+
+ALGORITHMS = ["adaptivefl", "heterofl"]
+
+ROUNDS = 3
+FEDERATED = FederatedConfig(num_rounds=ROUNDS, clients_per_round=4, eval_every=3)
+LOCAL = LocalTrainingConfig(local_epochs=1, batch_size=25, max_batches_per_epoch=3)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def build_algorithm(name: str, easy_setup, executor: str):
+    federated = replace(FEDERATED, executor=executor, max_workers=2)
+    kwargs = dict(
+        architecture=easy_setup["arch"],
+        train_dataset=easy_setup["train"],
+        partition=easy_setup["partition"],
+        test_dataset=easy_setup["test"],
+        profiles=easy_setup["profiles"],
+        resource_model=easy_setup["resource_model"],
+        seed=0,
+    )
+    if name == "adaptivefl":
+        return AdaptiveFL(
+            algorithm_config=AdaptiveFLConfig(federated=federated, local=LOCAL, pool=easy_setup["pool"]),
+            **kwargs,
+        )
+    return HeteroFL(federated_config=federated, local_config=LOCAL, **kwargs)
+
+
+def history_fingerprint(algorithm) -> list[dict]:
+    fingerprint = []
+    for record in algorithm.history.records:
+        fingerprint.append(
+            {
+                "round": record.round_index,
+                "selected": list(record.selected_clients),
+                "dispatched": list(record.dispatched),
+                "returned": list(record.returned),
+                "train_loss": record.train_loss,
+                "full_accuracy": record.full_accuracy,
+                "avg_accuracy": record.avg_accuracy,
+                "level_accuracies": dict(record.level_accuracies),
+                "communication_waste": record.communication_waste,
+            }
+        )
+    return fingerprint
+
+
+@pytest.fixture(scope="module")
+def serial_reference(easy_setup):
+    reference = {}
+    for name in ALGORITHMS:
+        algorithm = build_algorithm(name, easy_setup, "serial")
+        algorithm.run()
+        reference[name] = (history_fingerprint(algorithm), algorithm.global_state)
+    return reference
+
+
+def _spawn_client(host: str, port: int, name: str, *extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "client",
+            "--host",
+            host,
+            "--port",
+            str(port),
+            "--name",
+            name,
+            "--backoff-base",
+            "0.05",
+            *extra,
+        ],
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+@pytest.fixture(scope="module")
+def remote_fleet():
+    """One RemoteExecutor plus two subprocess clients, shared by both algorithms.
+
+    The first client drops its connection once after its third computed
+    result — mid-run for the first algorithm — exercising requeue,
+    reconnect-as-resumed and duplicate suppression while the parity
+    assertions stay bit-exact.
+    """
+    executor = RemoteExecutor(
+        options=ServeOptions(
+            port=0,
+            min_clients=2,
+            connect_timeout=60.0,
+            straggler_timeout=60.0,
+            heartbeat_interval=0.5,
+            liveness_timeout=30.0,
+        )
+    )
+    host, port = executor.start()
+    clients = [
+        _spawn_client(host, port, "worker-0", "--drop-after", "3"),
+        _spawn_client(host, port, "worker-1"),
+    ]
+    try:
+        yield executor
+    finally:
+        executor.shutdown()
+        for process in clients:
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=15)
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_remote_history_bit_identical(easy_setup, serial_reference, remote_fleet, name):
+    algorithm = build_algorithm(name, easy_setup, "remote")
+    algorithm.set_executor(remote_fleet)
+    algorithm.run()
+    expected_history, expected_state = serial_reference[name]
+
+    assert history_fingerprint(algorithm) == expected_history
+
+    assert set(algorithm.global_state) == set(expected_state)
+    for key, value in algorithm.global_state.items():
+        assert np.array_equal(value, expected_state[key]), f"weights differ in {key!r}"
+
+
+def test_remote_fleet_survived_a_reconnect(remote_fleet):
+    """The injected drop actually happened: the coordinator saw churn."""
+    stats = remote_fleet.stats()
+    assert stats["connects"] >= 2
+    assert stats["reconnects"] >= 1, f"no reconnect recorded: {stats}"
+    assert stats["requeues"] >= 1, f"no requeue recorded: {stats}"
+    assert stats["results"] >= stats["dispatched"] - stats["requeues"]
+    # weights travelled over the wire, not through the server's filesystem
+    assert stats["state_requests"] > 0, f"state never fetched remotely: {stats}"

@@ -1,0 +1,74 @@
+"""Message registry and version-gating behaviour of the wire protocol."""
+
+from dataclasses import FrozenInstanceError, dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    Heartbeat,
+    Hello,
+    Message,
+    TaskResult,
+    register_message,
+)
+
+EXPECTED_WIRE_NAMES = {
+    "hello",
+    "hello_ack",
+    "round_plan",
+    "task_dispatch",
+    "state_request",
+    "weight_slice",
+    "state_delta",
+    "heartbeat",
+    "bye",
+    "error",
+}
+
+
+def test_registry_contains_exactly_the_documented_vocabulary():
+    assert set(MESSAGE_TYPES) == EXPECTED_WIRE_NAMES
+
+
+def test_every_registered_class_roundtrips_its_wire_name():
+    for wire_name, cls in MESSAGE_TYPES.items():
+        assert cls.type == wire_name
+        assert issubclass(cls, Message)
+
+
+def test_task_result_travels_as_state_delta():
+    """The upload frame keeps the paper-facing wire name."""
+    assert TaskResult.type == "state_delta"
+
+
+def test_versions_are_positive_integers():
+    assert isinstance(PROTOCOL_VERSION, int) and PROTOCOL_VERSION >= 1
+    assert isinstance(SCHEMA_VERSION, int) and SCHEMA_VERSION >= 1
+
+
+def test_duplicate_registration_rejected():
+    @dataclass(frozen=True)
+    class Impostor(Message):
+        type: ClassVar[str] = "heartbeat"
+
+    with pytest.raises(ValueError, match="duplicate"):
+        register_message(Impostor)
+    # the registry still resolves to the original class
+    assert MESSAGE_TYPES["heartbeat"] is Heartbeat
+
+
+def test_messages_are_immutable():
+    hello = Hello(client_name="w0", protocol_version=1, schema_version=1)
+    with pytest.raises(FrozenInstanceError):
+        hello.client_name = "other"
+
+
+def test_module_documents_every_wire_name():
+    """The protocol table in the module docstring stays complete."""
+    for wire_name in EXPECTED_WIRE_NAMES:
+        assert f"``{wire_name}``" in protocol.__doc__
