@@ -7,7 +7,10 @@ into process-global RNG state (``np.random.shuffle``, ``random.random``)
 or the wall clock (``time.time``, ``datetime.now``) silently breaks that
 for every configuration the runtime suites do not happen to run.  This
 rule bans those calls everywhere in ``src/`` except
-:mod:`repro.engine.rng`, the one module allowed to construct entropy.
+:mod:`repro.engine.rng`, the one module allowed to construct entropy,
+and :mod:`repro.obs.clock`, the one module allowed to read the wall
+clock (telemetry timestamps are observations, never inputs — nothing
+read from an event log may feed run keys, checkpoints or randomness).
 
 Measurement clocks (``time.perf_counter``, ``time.monotonic``) are
 allowed: they time work, they never feed results.
@@ -62,7 +65,7 @@ _NEEDS_SEED = {"numpy.random.default_rng", "numpy.random.SeedSequence"}
         "randomness must be a pure function of (seed, round, client) or the "
         "serial/thread/process and resume parity guarantees silently break"
     ),
-    exempt=("repro/engine/rng.py",),
+    exempt=("repro/engine/rng.py", "repro/obs/clock.py"),
 )
 class GlobalRandomnessRule(Rule):
     """Flag calls into process-global RNG state and wall-clock entropy."""

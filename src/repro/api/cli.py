@@ -49,6 +49,16 @@ Three subcommands drive the whole experiment layer from a shell:
 
       python -m repro client --host 127.0.0.1 --port 7733 --name worker-0
 
+* ``repro metrics`` — scrape a running coordinator's status endpoint
+  (``repro serve --status-port``) and print the Prometheus exposition::
+
+      python -m repro metrics --port 9100
+
+* ``repro tail`` — pretty-print a telemetry JSONL event log (written by
+  ``--telemetry`` / ``--event-log``), optionally following it live::
+
+      python -m repro tail results/events.jsonl --follow
+
 Both ``run`` and ``compare`` write one ``<algorithm>_history.json`` per
 run plus ``summary.json`` (and echo the resolved ``spec.json``) into
 ``--output-dir``, and stream progress unless ``--quiet``; with
@@ -60,9 +70,11 @@ runs from their last completed round.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import time
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.api.callbacks import Callback, EarlyStopping, JsonHistoryStreamer, ProgressCallback, WallClockBudget
 from repro.api.registry import available_algorithms, get_algorithm, validate_algorithm_names
@@ -132,6 +144,13 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         "--profile",
         action="store_true",
         help="collect repro.perf timers/counters per run; prints a summary and writes <algorithm>_profile.json",
+    )
+    group.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write structured telemetry events (repro.obs) to this JSONL file; view with `repro tail`",
     )
     _add_store_flags(parser)
 
@@ -256,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument(
         "--liveness-timeout", type=float, default=120.0, help="seconds of client silence before its work is requeued"
     )
+    service.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        help="bind the HTTP status endpoint (/metrics, /healthz, /events) on this port; 0 = ephemeral",
+    )
     _add_setting_flags(serve)
     _add_run_flags(serve)
     serve.set_defaults(handler=_cmd_serve)
@@ -274,7 +299,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="failure injection (tests): close the connection once after computing N results, without uploading",
     )
     client.add_argument("--quiet", action="store_true", help="suppress connection log lines")
+    client.add_argument(
+        "--event-log",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write this worker's telemetry events (task_start/task_upload) to a JSONL file",
+    )
     client.set_defaults(handler=_cmd_client)
+
+    metrics = subparsers.add_parser("metrics", help="scrape a coordinator's Prometheus status endpoint")
+    metrics.add_argument("--host", default="127.0.0.1", help="status endpoint host")
+    metrics.add_argument("--port", type=int, required=True, help="status endpoint port (see `repro serve --status-port`)")
+    metrics.add_argument(
+        "--path",
+        default="/metrics",
+        choices=["/metrics", "/healthz", "/events"],
+        help="endpoint route to fetch (default: /metrics)",
+    )
+    metrics.add_argument("--timeout", type=float, default=5.0, help="HTTP timeout in seconds")
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    tail = subparsers.add_parser("tail", help="pretty-print a telemetry JSONL event log")
+    tail.add_argument("path", type=Path, help="JSONL event log (from --telemetry / --event-log)")
+    tail.add_argument("--follow", action="store_true", help="keep the file open and print events as they arrive")
+    tail.add_argument("--limit", type=int, default=None, help="print only the last N existing events")
+    tail.add_argument("--raw", action="store_true", help="print raw JSON lines instead of the pretty form")
+    tail.set_defaults(handler=_cmd_tail)
 
     report = subparsers.add_parser("report", help="regenerate report.md/report.json from a store")
     report.add_argument("--store", type=Path, required=True, help="RunStore directory to read")
@@ -405,23 +456,42 @@ def _finish(session: ExperimentSession, spec: ExperimentSpec, args: argparse.Nam
     return 0
 
 
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace, source: str) -> Iterator[None]:
+    """Attach the process-wide JSONL telemetry sink for the handler's scope."""
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        yield
+        return
+    from repro.obs.events import configure_telemetry, shutdown_telemetry
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    configure_telemetry(jsonl_path=str(path), source=source)
+    try:
+        yield
+    finally:
+        shutdown_telemetry()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     session, spec = _session_from_args(args)
     names = spec.algorithms or ("adaptivefl",)
     validate_algorithm_names(names)
-    for name in names:
-        # an explicit --selection-strategy flag is passed through unfiltered
-        # (requesting one for an algorithm that cannot honour it is an error,
-        # not a no-op); a spec file's strategy applies only to algorithms that
-        # accept one, matching `compare --spec` on the same file
-        strategy = session.strategy_for(name) if args.spec is not None else spec.selection_strategy
-        session.run(name, selection_strategy=strategy)
+    with _telemetry(args, source="run"):
+        for name in names:
+            # an explicit --selection-strategy flag is passed through unfiltered
+            # (requesting one for an algorithm that cannot honour it is an error,
+            # not a no-op); a spec file's strategy applies only to algorithms that
+            # accept one, matching `compare --spec` on the same file
+            strategy = session.strategy_for(name) if args.spec is not None else spec.selection_strategy
+            session.run(name, selection_strategy=strategy)
     return _finish(session, spec, args)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     session, spec = _session_from_args(args)
-    session.run_spec()
+    with _telemetry(args, source="compare"):
+        session.run_spec()
     return _finish(session, spec, args)
 
 
@@ -510,21 +580,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         straggler_timeout=args.straggler_timeout if args.straggler_timeout > 0 else None,
         heartbeat_interval=args.heartbeat_interval,
         liveness_timeout=args.liveness_timeout,
+        status_port=args.status_port,
     )
     session, spec = _session_from_args(args)
     names = spec.algorithms or ("adaptivefl",)
     validate_algorithm_names(names)
-    # one executor for every algorithm: clients stay connected across runs
-    executor = RemoteExecutor(options=options)
-    host, port = executor.start()
-    print(f"repro-serve: listening on {host}:{port}", flush=True)
-    try:
-        for name in names:
-            strategy = session.strategy_for(name) if args.spec is not None else spec.selection_strategy
-            session.run(name, selection_strategy=strategy, executor=executor)
-        return _finish(session, spec, args)
-    finally:
-        executor.shutdown()
+    with _telemetry(args, source="server"):
+        # one executor for every algorithm: clients stay connected across runs
+        executor = RemoteExecutor(options=options)
+        host, port = executor.start()
+        print(f"repro-serve: listening on {host}:{port}", flush=True)
+        status = executor.status_address
+        if status is not None:
+            print(f"repro-serve: status endpoint on http://{status[0]}:{status[1]}/metrics", flush=True)
+        try:
+            for name in names:
+                strategy = session.strategy_for(name) if args.spec is not None else spec.selection_strategy
+                session.run(name, selection_strategy=strategy, executor=executor)
+            return _finish(session, spec, args)
+        finally:
+            executor.shutdown()
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -539,7 +614,76 @@ def _cmd_client(args: argparse.Namespace) -> int:
         backoff_max=args.backoff_max,
         drop_after=args.drop_after,
         quiet=args.quiet,
+        event_log=str(args.event_log) if args.event_log is not None else None,
     ).run()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}{args.path}"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:  # noqa: S310 - plain HTTP status scrape
+            body = response.read().decode("utf-8", errors="replace")
+    except urllib.error.URLError as error:
+        raise OSError(f"cannot reach {url}: {error.reason}") from error
+    print(body, end="" if body.endswith("\n") else "\n")
+    return 0
+
+
+def _iter_jsonl_events(handle, raw: bool) -> "Iterator[str]":
+    """Yield display lines for complete JSONL records read from ``handle``.
+
+    Stops (seeking back) at a partial trailing line so a follow loop can
+    retry it once the concurrent writer finishes the record.
+    """
+    import json
+
+    from repro.obs.events import Event
+    from repro.obs.sinks import format_event
+
+    while True:
+        position = handle.tell()
+        line = handle.readline()
+        if not line:
+            return
+        if not line.endswith("\n"):
+            handle.seek(position)
+            return
+        text = line.strip()
+        if not text:
+            continue
+        if raw:
+            yield text
+            continue
+        try:
+            yield format_event(Event.from_dict(json.loads(text)))
+        except (ValueError, TypeError, KeyError):
+            yield f"?? unparseable event line: {text}"
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    if not args.path.exists():
+        raise OSError(f"no such event log: {args.path}")
+    with args.path.open("r", encoding="utf-8") as handle:
+        lines = list(_iter_jsonl_events(handle, args.raw))
+        if args.limit is not None:
+            lines = lines[-args.limit :]
+        for line in lines:
+            print(line, flush=True)
+        if not args.follow:
+            return 0
+        try:
+            while True:
+                emitted = False
+                for line in _iter_jsonl_events(handle, args.raw):
+                    print(line, flush=True)
+                    emitted = True
+                if not emitted:
+                    time.sleep(0.25)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

@@ -43,6 +43,10 @@ from repro.engine.factory import create_executor
 from repro.engine.rng import client_stream
 from repro.engine.tasks import ClientTask, TrainSubmodelTask
 from repro.engine.transport import StateHandle, StateStore, decode_upload, state_nbytes
+from repro.obs.events import get_event_bus
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.trace import TraceContext, new_span_id, new_trace_id
+from repro.obs.clock import monotonic
 from repro.perf.profiler import Profiler
 from repro.perf.workspace import reset_workspace_stats, workspace_stats
 from repro.core.model_pool import ModelPool
@@ -158,6 +162,8 @@ class FederatedAlgorithm(ABC):
         #: total rounds of the active run() (read by progress callbacks)
         self.planned_rounds: int | None = None
         self._stop_reason: str | None = None
+        #: telemetry identity of the round in flight ("" outside run())
+        self.current_trace_id: str = ""
 
     # -- hooks --------------------------------------------------------------------------
     @abstractmethod
@@ -181,6 +187,16 @@ class FederatedAlgorithm(ABC):
         execution order runs it.
         """
         return client_stream(self.seed, round_index, client_id)
+
+    def task_trace(self) -> TraceContext:
+        """Mint the telemetry identity one dispatched task carries.
+
+        The trace id is the round's (set by :meth:`run` before
+        ``run_round`` fires); the span id is fresh per task.  Identity
+        only — never read by task ``run()`` and never entering results —
+        so minting it unconditionally cannot perturb determinism.
+        """
+        return TraceContext(trace_id=self.current_trace_id, span_id=new_span_id())
 
     # -- parallel client execution --------------------------------------------------------
     @property
@@ -257,6 +273,7 @@ class FederatedAlgorithm(ABC):
                     client_id=client_id,
                     rng_stream=self.client_stream(round_index, client_id),
                     delta_upload=is_handle,
+                    trace=self.task_trace(),
                 )
             )
         with self.profiler.scope("round.training"):
@@ -549,6 +566,12 @@ class FederatedAlgorithm(ABC):
         record.full_accuracy = full_accuracy
         record.level_accuracies = level_accuracies
         record.avg_accuracy = float(np.mean(list(level_accuracies.values()))) if level_accuracies else None
+        get_event_bus().emit(
+            "eval_done",
+            trace_id=self.current_trace_id,
+            round=record.round_index,
+            full_accuracy=full_accuracy,
+        )
 
     # -- checkpoint / resume (repro.store) ------------------------------------------------
     def checkpoint_state(self) -> "Checkpoint":
@@ -690,8 +713,17 @@ class FederatedAlgorithm(ABC):
         start = len(self.history)
         self.planned_rounds = rounds
         self._stop_reason = None
+        bus = get_event_bus()
+        rounds_total = obs_registry().counter("rounds_total", "federated rounds completed")
+        round_duration = obs_registry().histogram(
+            "round_duration_seconds", "wall-clock duration of one federated round"
+        )
+        bus.emit("run_start", algorithm=self.name, rounds=rounds, start_round=start)
         try:
             for round_index in range(start, start + rounds):
+                self.current_trace_id = new_trace_id(f"{self.name}-r{round_index}")
+                bus.emit("round_start", trace_id=self.current_trace_id, round=round_index)
+                round_started_at = monotonic()
                 callback_list.on_round_start(self, round_index)
                 with self.profiler.scope("round"):
                     record = self.run_round(round_index)
@@ -713,6 +745,16 @@ class FederatedAlgorithm(ABC):
                 # the record is final from here on: durable-state callbacks
                 # (e.g. repro.store.RunRecorder) persist checkpoints now
                 callback_list.on_checkpoint(self, record)
+                round_seconds = monotonic() - round_started_at
+                rounds_total.inc()
+                round_duration.observe(round_seconds)
+                bus.emit(
+                    "round_end",
+                    trace_id=self.current_trace_id,
+                    round=round_index,
+                    duration_seconds=round(round_seconds, 6),
+                    participants=len(record.selected_clients),
+                )
                 # re-check the stop flag: a checkpoint callback may itself
                 # request a stop (e.g. on a persistence failure) and the
                 # contract is "training ends after the round in flight"
@@ -730,6 +772,13 @@ class FederatedAlgorithm(ABC):
             # release worker pools between runs; a later run() or run_round()
             # lazily rebuilds the executor from the same config
             self.close()
+            self.current_trace_id = ""
+            bus.emit(
+                "run_end",
+                algorithm=self.name,
+                rounds_completed=len(self.history) - start,
+                stop_reason=self._stop_reason or "",
+            )
         if self.profiler.enabled:
             stats = workspace_stats()
             self.profiler.set_counter("workspace.buffer_hits", stats["hits"])

@@ -159,6 +159,7 @@ class AdaptiveFL(FederatedAlgorithm):
                 rng_stream=self.client_stream(round_index, selected[i]),
                 planned_return=planned_returns[i] if handle is not None else None,
                 delta_upload=handle is not None,
+                trace=self.task_trace(),
             )
             for i in keep
         ]

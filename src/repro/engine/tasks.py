@@ -33,6 +33,7 @@ from repro.core.pruning import slice_state_dict
 from repro.data.datasets import Dataset
 from repro.engine.transport import StateHandle, encode_state_delta
 from repro.nn.models.spec import SlimmableArchitecture
+from repro.obs.trace import TraceContext
 
 __all__ = ["ClientTask", "LocalRoundTask", "TrainSubmodelTask"]
 
@@ -92,6 +93,8 @@ class LocalRoundTask(ClientTask):
     #: cut the slice worker-side when ``dispatched_state`` is a handle
     planned_return: SubmodelConfig | None = None
     delta_upload: bool = False
+    #: telemetry identity (round trace + task span); never read by run()
+    trace: TraceContext | None = None
 
     def run(self) -> ClientRoundResult:
         """Execute the client's full local round (worker-side entry point)."""
@@ -128,6 +131,8 @@ class TrainSubmodelTask(ClientTask):
     rng_stream: np.random.SeedSequence
     client_id: int = -1
     delta_upload: bool = False
+    #: telemetry identity (round trace + task span); never read by run()
+    trace: TraceContext | None = None
 
     def run(self) -> LocalTrainingResult:
         """Train the assigned submodel on the client's data (worker-side)."""

@@ -1,0 +1,160 @@
+"""Event sinks: JSONL file (atomic, rotating), ring buffer, stderr.
+
+Sinks receive fully-built :class:`~repro.obs.events.Event` objects from
+an :class:`~repro.obs.events.EventBus` and are individually thread-safe
+— emitters on the training thread and the serve loop thread share one
+sink instance.  A sink that raises is detached by the bus, so sinks are
+free to fail loudly (full disk, closed stream) without endangering the
+run.
+
+:class:`JsonlSink` appends one compact JSON object per line and rotates
+by size: when the active file would exceed ``max_bytes`` it is renamed
+to ``<path>.1`` (shifting older backups up to ``backups``) and a fresh
+file is started.  Each line is written with a single ``write`` call of a
+complete ``...\\n`` string under the sink lock, so concurrent emitters
+never interleave partial lines — the atomicity unit is the line, which
+is exactly what ``scripts/trace_join.py`` and ``repro tail`` need.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from collections import deque
+from pathlib import Path
+from typing import TextIO
+
+from repro.obs.clock import iso_format
+from repro.obs.events import Event
+
+__all__ = ["Sink", "JsonlSink", "RingBufferSink", "StderrSink", "format_event"]
+
+
+class Sink:
+    """Destination for telemetry events."""
+
+    def write(self, event: Event) -> None:
+        """Record one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (default: nothing to release)."""
+
+
+class JsonlSink(Sink):
+    """Append events to a JSONL file with size-based rotation.
+
+    ``max_bytes`` bounds the active file (rotation happens *before* the
+    write that would cross it), and ``backups`` bounds how many rotated
+    generations (``.1`` newest … ``.N`` oldest) are kept.
+    """
+
+    def __init__(self, path: str | Path, *, max_bytes: int = 32 * 1024 * 1024, backups: int = 3):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if backups < 0:
+            raise ValueError("backups cannot be negative")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream: TextIO | None = open(self.path, "a", encoding="utf-8")
+        self._size = self.path.stat().st_size
+
+    def write(self, event: Event) -> None:
+        """Serialise one event as a single complete line, rotating first if needed."""
+        line = json.dumps(event.to_dict(), separators=(",", ":"), sort_keys=True) + "\n"
+        encoded_len = len(line.encode("utf-8"))
+        with self._lock:
+            if self._stream is None:
+                raise ValueError(f"JsonlSink({self.path}) is closed")
+            if self._size and self._size + encoded_len > self.max_bytes:
+                self._rotate()
+            self._stream.write(line)
+            self._stream.flush()
+            self._size += encoded_len
+
+    def _rotate(self) -> None:
+        """Shift backups up one generation and start a fresh active file."""
+        self._stream.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+            oldest.unlink(missing_ok=True)
+            for generation in range(self.backups - 1, 0, -1):
+                source = self.path.with_name(f"{self.path.name}.{generation}")
+                if source.exists():
+                    os.replace(source, self.path.with_name(f"{self.path.name}.{generation + 1}"))
+            if self.path.exists():
+                os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._stream = open(self.path, "w", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        """Flush and close the active file."""
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events in memory.
+
+    Backs the serve status endpoint's ``/events`` view and tests that
+    assert on emitted telemetry without touching the filesystem.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def write(self, event: Event) -> None:
+        """Append, evicting the oldest event once at capacity."""
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> list[Event]:
+        """A snapshot of the buffered events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        """Drop every buffered event."""
+        with self._lock:
+            self._events.clear()
+
+
+class StderrSink(Sink):
+    """Pretty-print events to a stream (stderr by default) for humans."""
+
+    def __init__(self, stream: TextIO | None = None):
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def write(self, event: Event) -> None:
+        """Write one formatted line (stream resolved late so capsys works)."""
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            stream.write(format_event(event) + "\n")
+            stream.flush()
+
+
+def format_event(event: Event) -> str:
+    """One human-readable line for an event (shared by StderrSink and ``repro tail``)."""
+    parts = [iso_format(event.timestamp), f"{event.type:<18}"]
+    if event.source:
+        parts.append(f"[{event.source}]")
+    if event.trace_id:
+        span = f"/{event.span_id}" if event.span_id else ""
+        parts.append(f"{event.trace_id}{span}")
+    if event.data:
+        parts.append(" ".join(f"{key}={event.data[key]}" for key in sorted(event.data)))
+    return " ".join(parts)

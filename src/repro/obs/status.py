@@ -1,0 +1,101 @@
+"""Minimal HTTP status endpoint for live metrics and recent events.
+
+A :class:`StatusServer` binds alongside the serve coordinator (on its
+asyncio loop) and answers three read-only paths:
+
+* ``GET /metrics`` — Prometheus text exposition of the configured
+  registries (the process-wide registry layered with the coordinator's
+  fleet registry);
+* ``GET /healthz`` — liveness probe, always ``ok``;
+* ``GET /events`` — the most recent telemetry events from an attached
+  ring buffer, as a JSON array (empty when no ring is configured).
+
+It speaks just enough HTTP/1.0 for ``curl``, Prometheus scrapers and
+``repro metrics``: one request per connection, ``Connection: close``,
+no keep-alive, no TLS.  It is an operator window, not a public API —
+bind it to loopback unless the network is trusted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.sinks import RingBufferSink
+
+__all__ = ["StatusServer"]
+
+
+class StatusServer:
+    """Serve ``/metrics``, ``/healthz`` and ``/events`` over HTTP/1.0."""
+
+    def __init__(
+        self,
+        registries: list[MetricsRegistry],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ring: RingBufferSink | None = None,
+    ):
+        self.registries = list(registries)
+        self.host = host
+        self.port = port
+        self.ring = ring
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and begin answering requests; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return (self.host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            # drain headers so well-behaved clients see a clean close
+            while True:
+                header = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._respond(path)
+            payload = body.encode("utf-8")
+            writer.write(
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n".encode("latin-1") + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    def _respond(self, path: str) -> tuple[str, str, str]:
+        """Route one request path to ``(status line, content type, body)``."""
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(*self.registries),
+            )
+        if path == "/healthz":
+            return "200 OK", "text/plain; charset=utf-8", "ok\n"
+        if path == "/events":
+            events = [event.to_dict() for event in self.ring.events()] if self.ring else []
+            return "200 OK", "application/json; charset=utf-8", json.dumps(events) + "\n"
+        return "404 Not Found", "text/plain; charset=utf-8", f"unknown path {path}\n"

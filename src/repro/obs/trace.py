@@ -1,0 +1,59 @@
+"""Trace and span identity for cross-process task timelines.
+
+A **trace** covers one federated round: the server mints a trace id when
+the round starts and every task fanned out in that round carries it.  A
+**span** covers one task's lifecycle inside its trace: planned on the
+server, dispatched over the wire, executed on a worker, uploaded back.
+Both ids travel on :class:`~repro.engine.tasks.ClientTask` envelopes and
+— for the networked path — on the optional trace fields of the wire
+protocol's ``task_dispatch``/``state_delta`` frames, so a task's story
+is reconstructable by joining server-side and client-side event logs
+(``scripts/trace_join.py``).
+
+Ids are minted from process-wide counters, **not** from OS entropy:
+reprolint's RPL001 bans ``uuid4`` outside the sanctioned RNG plumbing,
+and counters are all the uniqueness one process's logs need (two
+processes never mint the same id because the server mints all of them).
+Ids are identity, not data — they never enter run keys, checkpoints or
+histories, so determinism and resume parity are untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+__all__ = ["TraceContext", "new_trace_id", "new_span_id"]
+
+#: process-wide trace allocator (server-side; unique per process lifetime)
+_TRACE_IDS = itertools.count(1)
+
+#: process-wide span allocator
+_SPAN_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The (trace, span) identity one task carries across process boundaries.
+
+    Frozen and string-only, so it pickles with the task it annotates and
+    can never smuggle handles or state across the wire.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+def new_trace_id(prefix: str = "trace") -> str:
+    """Mint a process-unique trace id, e.g. ``adaptivefl-r3#000007``.
+
+    ``prefix`` carries human-readable run context (algorithm name, round
+    index); the counter suffix guarantees uniqueness when the same round
+    index recurs across runs in one process.
+    """
+    return f"{prefix}#{next(_TRACE_IDS):06d}"
+
+
+def new_span_id() -> str:
+    """Mint a process-unique span id, e.g. ``s000042``."""
+    return f"s{next(_SPAN_IDS):06d}"

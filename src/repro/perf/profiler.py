@@ -8,6 +8,13 @@ in the NumPy kernels would cost more than the ops themselves, so kernels
 stay clean and the op-level story is told by
 ``benchmarks/bench_hotpaths.py`` instead.
 
+Since the :mod:`repro.obs` telemetry subsystem landed, the profiler's
+storage *is* an :class:`repro.obs.metrics.MetricsRegistry` — each scope
+a histogram, each counter a gauge — so phase totals live in the same
+primitives as the rest of the stack's metrics and the registry can be
+layered into Prometheus exposition (:attr:`Profiler.registry`).  The
+public ``summary()``/``render()`` surface is unchanged.
+
 The active profiler is installed per algorithm
 (:attr:`repro.core.fl_base.FederatedAlgorithm.profiler`) and surfaces on
 the CLI as ``--profile``, which prints the summary table and writes
@@ -16,11 +23,22 @@ the CLI as ``--profile``, which prints the summary table and writes
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.clock import perf_counter
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry
+
 __all__ = ["Profiler", "ScopeStats", "render_summary"]
+
+#: characters legal in a Prometheus metric name (scope names carry dots)
+_METRIC_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    """Map a free-form scope/counter name onto a legal metric name."""
+    sanitized = "".join(ch if ch in _METRIC_OK else "_" for ch in name)
+    return f"{prefix}{sanitized}"
 
 
 def render_summary(summary: dict, title: str | None = None) -> str:
@@ -48,20 +66,27 @@ def render_summary(summary: dict, title: str | None = None) -> str:
 
 
 class ScopeStats:
-    """Accumulated totals of one named scope."""
+    """Read view of one named scope's accumulated totals.
+
+    Kept as the ``Profiler.scopes`` value type for back-compat; since
+    the registry migration it is a snapshot built from the underlying
+    histogram, not the storage itself.
+    """
 
     __slots__ = ("name", "calls", "seconds")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, calls: int = 0, seconds: float = 0.0):
         self.name = name
-        self.calls = 0
-        self.seconds = 0.0
+        self.calls = calls
+        self.seconds = seconds
 
     def add(self, seconds: float) -> None:
+        """Accumulate one call of ``seconds`` duration."""
         self.calls += 1
         self.seconds += seconds
 
     def to_dict(self) -> dict:
+        """JSON form used by ``summary()`` and ``profile.json``."""
         return {"name": self.name, "calls": self.calls, "seconds": round(self.seconds, 6)}
 
 
@@ -69,14 +94,18 @@ class Profiler:
     """Collects scoped timings and counters; cheap enough to leave enabled.
 
     A disabled profiler (the default) reduces :meth:`scope` to a no-op
-    context manager and :meth:`count` to a dict update, so the training
-    loop carries it unconditionally.
+    context manager and :meth:`count` to nothing, so the training loop
+    carries it unconditionally.  Storage is a private
+    :class:`MetricsRegistry` (scopes as histograms under
+    ``profile_scope_*``, counters as gauges under ``profile_counter_*``)
+    exposed as :attr:`registry` for Prometheus layering.
     """
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
-        self._scopes: dict[str, ScopeStats] = {}
-        self._counters: dict[str, float] = {}
+        self.registry = MetricsRegistry()
+        self._scope_metrics: dict[str, Histogram] = {}
+        self._counter_metrics: dict[str, Gauge] = {}
 
     # -- timing -------------------------------------------------------------------
     @contextmanager
@@ -85,44 +114,61 @@ class Profiler:
         if not self.enabled:
             yield
             return
-        start = time.perf_counter()
+        start = perf_counter()
         try:
             yield
         finally:
-            stats = self._scopes.get(name)
-            if stats is None:
-                stats = self._scopes[name] = ScopeStats(name)
-            stats.add(time.perf_counter() - start)
+            histogram = self._scope_metrics.get(name)
+            if histogram is None:
+                histogram = self.registry.histogram(_metric_name("profile_scope_", name))
+                self._scope_metrics[name] = histogram
+            histogram.observe(perf_counter() - start)
 
     # -- counters -----------------------------------------------------------------
+    def _counter(self, name: str) -> Gauge:
+        gauge = self._counter_metrics.get(name)
+        if gauge is None:
+            gauge = self.registry.gauge(_metric_name("profile_counter_", name))
+            self._counter_metrics[name] = gauge
+        return gauge
+
     def count(self, name: str, amount: float = 1.0) -> None:
         """Add ``amount`` to the counter ``name`` (no-op when disabled)."""
         if self.enabled:
-            self._counters[name] = self._counters.get(name, 0.0) + amount
+            self._counter(name).inc(amount)
 
     def set_counter(self, name: str, value: float) -> None:
+        """Overwrite the counter ``name`` (no-op when disabled)."""
         if self.enabled:
-            self._counters[name] = value
+            self._counter(name).set(value)
 
     # -- reporting ----------------------------------------------------------------
     @property
     def scopes(self) -> dict[str, ScopeStats]:
-        return dict(self._scopes)
+        """Snapshot of every scope's (calls, seconds) totals, by name."""
+        return {
+            name: ScopeStats(name, histogram.calls, histogram.total)
+            for name, histogram in self._scope_metrics.items()
+        }
 
     @property
     def counters(self) -> dict[str, float]:
-        return dict(self._counters)
+        """Snapshot of every counter's current value, by name."""
+        return {name: gauge.value for name, gauge in self._counter_metrics.items()}
 
     def reset(self) -> None:
-        self._scopes.clear()
-        self._counters.clear()
+        """Drop all accumulated scopes and counters."""
+        self.registry.reset()
+        self._scope_metrics.clear()
+        self._counter_metrics.clear()
 
     def summary(self) -> dict:
         """JSON-friendly summary: scopes sorted by total time, then counters."""
-        ordered = sorted(self._scopes.values(), key=lambda s: s.seconds, reverse=True)
+        ordered = sorted(self.scopes.values(), key=lambda s: s.seconds, reverse=True)
+        counters = self.counters
         return {
             "scopes": [stats.to_dict() for stats in ordered],
-            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+            "counters": {name: counters[name] for name in sorted(counters)},
         }
 
     def render(self) -> str:

@@ -17,7 +17,10 @@ supervised coroutines:
   and wait for the result; a straggler timeout requeues the envelope so
   another client can rescue the round;
 * **heartbeat** — probes the client periodically and declares the
-  connection dead after ``liveness_timeout`` seconds of silence.
+  connection dead after ``liveness_timeout`` seconds of silence.  Each
+  probe's send time is remembered by sequence number, so the client's
+  echo yields a send→ack round-trip observation on the coordinator's
+  ``heartbeat_rtt_seconds`` histogram instead of being fire-and-forget.
 
 The supervisor wraps all of them: the first child to exit (EOF, codec
 error, liveness timeout, ``bye``) cancels the rest, requeues the
@@ -34,6 +37,7 @@ import time
 from typing import TYPE_CHECKING
 
 from repro.engine.transport import server_state_bytes
+from repro.obs.events import get_event_bus
 from repro.serve.codec import read_message, write_message
 from repro.serve.options import ServeOptions
 from repro.serve.protocol import (
@@ -78,6 +82,10 @@ class ClientActor:
         #: envelopes dispatched to this client and not yet resolved
         self.inflight: "set[TaskEnvelope]" = set()
         self.last_seen = time.monotonic()
+        #: payload schema negotiated in the handshake (set by the coordinator)
+        self.schema_version: int = 0
+        #: send time of each outstanding heartbeat probe, by sequence number
+        self._heartbeat_sent: dict[int, float] = {}
         #: set once the supervisor finished cleanup (socket closed, work requeued)
         self.closed = asyncio.Event()
         self._supervisor: asyncio.Task | None = None
@@ -170,7 +178,10 @@ class ClientActor:
             elif isinstance(message, StateRequest):
                 await self._serve_state(message)
             elif isinstance(message, Heartbeat):
-                pass  # last_seen already refreshed
+                # the echo closes the probe's send→ack loop: observe the RTT
+                sent_at = self._heartbeat_sent.pop(message.seq, None)
+                if sent_at is not None:
+                    self.coordinator.heartbeat_rtt.observe(time.monotonic() - sent_at)
             elif isinstance(message, Bye):
                 raise ActorFailure(f"client {self.name!r} said goodbye: {message.reason or 'bye'}")
             elif isinstance(message, ProtocolError):
@@ -179,12 +190,13 @@ class ClientActor:
                 raise ActorFailure(f"unexpected {type(message).type!r} frame from client {self.name!r}")
 
     async def _serve_state(self, request: StateRequest) -> None:
-        self.coordinator.stats["state_requests"] += 1
+        self.coordinator.count("state_requests")
         try:
             payload = server_state_bytes(request.store_id, request.version)
         except KeyError as error:
             await self.enqueue(ProtocolError(message=str(error)))
             return
+        self.coordinator.bytes_down.inc(len(payload))
         await self.enqueue(WeightSlice(store_id=request.store_id, version=request.version, payload=payload))
 
     async def _sender_loop(self) -> None:
@@ -199,6 +211,14 @@ class ClientActor:
                 raise ActorFailure(
                     f"client {self.name!r} sent no frame for over {self.options.liveness_timeout}s"
                 )
+            # stamp before enqueueing: the RTT then includes our own send
+            # queue, which is exactly the backlog an operator wants to see
+            self._heartbeat_sent[seq] = time.monotonic()
+            if len(self._heartbeat_sent) > 64:
+                # unanswered probes on a silent-but-alive connection must not
+                # accumulate forever; liveness_timeout catches true death
+                oldest = min(self._heartbeat_sent)
+                del self._heartbeat_sent[oldest]
             await self.enqueue(Heartbeat(seq=seq))
 
     async def _work_loop(self) -> None:
@@ -213,15 +233,29 @@ class ClientActor:
             # no awaits between claiming and registering the envelope: a
             # cancellation here would otherwise lose it for good
             self.inflight.add(envelope)
+            self.coordinator.update_inflight()
             try:
                 await self.enqueue(
                     TaskDispatch(
                         batch_id=envelope.batch.batch_id,
                         task_index=envelope.index,
                         payload=envelope.payload,
+                        trace_id=envelope.trace_id,
+                        span_id=envelope.span_id,
                     )
                 )
-                self.coordinator.stats["dispatched"] += 1
+                self.coordinator.count("dispatched")
+                self.coordinator.bytes_down.inc(len(envelope.payload))
+                get_event_bus().emit(
+                    "task_dispatch",
+                    trace_id=envelope.trace_id,
+                    span_id=envelope.span_id,
+                    task_index=envelope.index,
+                    batch_id=envelope.batch.batch_id,
+                    client=self.name,
+                    attempt=envelope.attempts,
+                    payload_bytes=len(envelope.payload),
+                )
                 if self.options.straggler_timeout is None:
                     await envelope.done.wait()
                 else:
@@ -234,3 +268,4 @@ class ClientActor:
                 # requeues it so another client can pick the task up
                 raise
             self.inflight.discard(envelope)
+            self.coordinator.update_inflight()

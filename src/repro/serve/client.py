@@ -25,6 +25,12 @@ executors:
 ``drop_after=N`` is a failure-injection knob for tests: after computing
 its *N*-th result the runner closes the socket once *without uploading
 it*, forcing the coordinator down the requeue/reconnect path.
+
+``event_log=<path>`` attaches a private
+:class:`~repro.obs.sinks.JsonlSink` and emits ``task_start`` /
+``task_upload`` events carrying the trace/span ids from each dispatch
+frame — the client half of the timelines ``scripts/trace_join.py``
+stitches together with the server's log.
 """
 
 from __future__ import annotations
@@ -37,6 +43,8 @@ import traceback
 from collections import deque
 
 from repro.engine.transport import set_state_fetcher
+from repro.obs.events import EventBus
+from repro.obs.sinks import JsonlSink
 from repro.serve.codec import CodecError, recv_message, send_message
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -75,6 +83,7 @@ class ClientRunner:
         backoff_max: float = 5.0,
         drop_after: int | None = None,
         quiet: bool = False,
+        event_log: str | None = None,
     ):
         if reconnect_attempts < 0:
             raise ValueError("reconnect_attempts must be non-negative")
@@ -93,11 +102,16 @@ class ClientRunner:
         self._deferred: "deque[Message]" = deque()
         self._results_computed = 0
         self._dropped = False
+        #: private telemetry bus (dormant unless event_log is set)
+        self.events = EventBus(source=name)
+        self._event_log = event_log
 
     # -- public entry point ---------------------------------------------------------------
     def run(self) -> int:
         """Serve the coordinator until ``bye``; returns a process exit code."""
         set_state_fetcher(self._fetch_state)
+        if self._event_log is not None:
+            self.events.attach(JsonlSink(self._event_log))
         failures = 0
         try:
             while True:
@@ -129,6 +143,7 @@ class ClientRunner:
         finally:
             set_state_fetcher(None)
             self._close_socket()
+            self.events.close()
 
     # -- connection management ------------------------------------------------------------
     def _connect(self) -> None:
@@ -234,6 +249,13 @@ class ClientRunner:
 
     def _handle_task(self, dispatch: TaskDispatch) -> bool:
         assert self._sock is not None
+        self.events.emit(
+            "task_start",
+            trace_id=dispatch.trace_id,
+            span_id=dispatch.span_id,
+            task_index=dispatch.task_index,
+            batch_id=dispatch.batch_id,
+        )
         error: str | None = None
         payload = b""
         try:
@@ -263,7 +285,18 @@ class ClientRunner:
                 payload=payload,
                 client_name=self.name,
                 error=error,
+                trace_id=dispatch.trace_id,
+                span_id=dispatch.span_id,
             ),
+        )
+        self.events.emit(
+            "task_upload",
+            trace_id=dispatch.trace_id,
+            span_id=dispatch.span_id,
+            task_index=dispatch.task_index,
+            batch_id=dispatch.batch_id,
+            payload_bytes=len(payload),
+            failed=error is not None,
         )
         return True
 

@@ -12,6 +12,19 @@ window), stragglers (timeout + redispatch to another client) and
 duplicate results (first upload wins, later ones are counted and
 dropped).
 
+Operational telemetry: the coordinator's churn counters live in a
+per-instance :class:`~repro.obs.metrics.MetricsRegistry`
+(:attr:`Coordinator.metrics`; ``connects_total``, ``reconnects_total``,
+``dispatched_total`` … plus the ``tasks_inflight`` gauge,
+``heartbeat_rtt_seconds`` histogram and wire byte counters fed by the
+actors), with the legacy :attr:`Coordinator.stats` dict preserved as a
+read-only snapshot property.  Fleet lifecycle events (connect /
+reconnect / disconnect, dispatches, results, straggler requeues) are
+emitted on the process-wide :class:`~repro.obs.events.EventBus`, and an
+optional :class:`~repro.obs.status.StatusServer`
+(``ServeOptions.status_port``) exposes ``/metrics``, ``/healthz`` and
+``/events`` over HTTP while a fleet runs.
+
 The coordinator never touches training semantics: payloads are opaque
 pickled bytes produced and consumed by
 :class:`~repro.serve.executor.RemoteExecutor`, which is what slots into
@@ -24,10 +37,15 @@ import asyncio
 import itertools
 import time
 
+from repro.obs.events import get_event_bus
+from repro.obs.metrics import MetricsRegistry, registry as obs_registry
+from repro.obs.sinks import RingBufferSink
+from repro.obs.status import StatusServer
 from repro.serve.actors import ClientActor
 from repro.serve.codec import CodecError, read_message, write_message
 from repro.serve.options import ServeOptions
 from repro.serve.protocol import (
+    MIN_SCHEMA_VERSION,
     PROTOCOL_VERSION,
     SCHEMA_VERSION,
     Hello,
@@ -37,19 +55,33 @@ from repro.serve.protocol import (
     TaskResult,
 )
 
-__all__ = ["Coordinator", "TaskBatch", "TaskEnvelope"]
+__all__ = ["Coordinator", "TaskBatch", "TaskEnvelope", "STAT_KEYS"]
 
 #: server identity advertised in every ``hello_ack``
 SERVER_NAME = "repro-serve"
+
+#: the churn counters every coordinator maintains (``stats`` dict keys)
+STAT_KEYS = (
+    "connects",
+    "reconnects",
+    "dispatched",
+    "results",
+    "requeues",
+    "duplicate_results",
+    "stale_results",
+    "state_requests",
+)
 
 
 class TaskEnvelope:
     """One task payload in flight: dispatch bookkeeping around opaque bytes."""
 
-    def __init__(self, batch: "TaskBatch", index: int, payload: bytes):
+    def __init__(self, batch: "TaskBatch", index: int, payload: bytes, trace_id: str = "", span_id: str = ""):
         self.batch = batch
         self.index = index
         self.payload = payload
+        self.trace_id = trace_id
+        self.span_id = span_id
         self.attempts = 0
         self.completed = False
         #: set when a result (or the batch's failure) resolves this envelope
@@ -59,9 +91,18 @@ class TaskEnvelope:
 class TaskBatch:
     """One ``run_batch`` call: envelopes, results and completion state."""
 
-    def __init__(self, batch_id: int, payloads: list[bytes]):
+    def __init__(self, batch_id: int, payloads: list[bytes], traces: "list[tuple[str, str]] | None" = None):
         self.batch_id = batch_id
-        self.envelopes = [TaskEnvelope(self, index, payload) for index, payload in enumerate(payloads)]
+        self.envelopes = [
+            TaskEnvelope(
+                self,
+                index,
+                payload,
+                trace_id=traces[index][0] if traces is not None else "",
+                span_id=traces[index][1] if traces is not None else "",
+            )
+            for index, payload in enumerate(payloads)
+        ]
         self.results: list[bytes | None] = [None] * len(payloads)
         self.remaining = len(payloads)
         self.error: str | None = None
@@ -85,17 +126,28 @@ class Coordinator:
         self.options = options if options is not None else ServeOptions()
         #: live actors by client name (one connection per name; newest wins)
         self.actors: dict[str, ClientActor] = {}
-        #: churn counters exposed through ``RemoteExecutor.stats()``
-        self.stats: dict[str, int] = {
-            "connects": 0,
-            "reconnects": 0,
-            "dispatched": 0,
-            "results": 0,
-            "requeues": 0,
-            "duplicate_results": 0,
-            "stale_results": 0,
-            "state_requests": 0,
+        #: this fleet's metrics (layered over the process registry by /metrics)
+        self.metrics = MetricsRegistry()
+        self._counters = {
+            key: self.metrics.counter(f"{key}_total", f"coordinator {key.replace('_', ' ')}")
+            for key in STAT_KEYS
         }
+        self._inflight_gauge = self.metrics.gauge(
+            "tasks_inflight", "tasks dispatched to clients and not yet resolved"
+        )
+        #: heartbeat send→ack round-trip times, observed by the actors
+        self.heartbeat_rtt = self.metrics.histogram(
+            "heartbeat_rtt_seconds",
+            "heartbeat probe round-trip time",
+            buckets=(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0),
+        )
+        #: application bytes moved over the wire (task + state payloads)
+        self.bytes_down = self.metrics.counter(
+            "bytes_down_total", "payload bytes sent to clients (dispatches and weight slices)"
+        )
+        self.bytes_up = self.metrics.counter(
+            "bytes_up_total", "payload bytes received from clients (result uploads)"
+        )
         self._known_clients: set[str] = set()
         self._pending: "asyncio.Queue[TaskEnvelope]" = asyncio.Queue()
         self._batch: TaskBatch | None = None
@@ -104,6 +156,29 @@ class Coordinator:
         self._client_joined: asyncio.Event = asyncio.Event()
         self._watchdog: asyncio.Task | None = None
         self.address: tuple[str, int] | None = None
+        self._status: StatusServer | None = None
+        self._status_ring: RingBufferSink | None = None
+
+    # -- telemetry ------------------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the churn counters (legacy dict view of the registry)."""
+        return {key: int(counter.value) for key, counter in self._counters.items()}
+
+    def count(self, key: str, amount: int = 1) -> None:
+        """Increment one of the :data:`STAT_KEYS` churn counters."""
+        self._counters[key].inc(amount)
+
+    def update_inflight(self) -> None:
+        """Recompute the ``tasks_inflight`` gauge from the live actors."""
+        self._inflight_gauge.set(sum(len(actor.inflight) for actor in self.actors.values()))
+
+    @property
+    def status_address(self) -> tuple[str, int] | None:
+        """Bound ``(host, port)`` of the status endpoint, if enabled."""
+        if self._status is None:
+            return None
+        return (self._status.host, self._status.port)
 
     # -- lifecycle ------------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -114,6 +189,18 @@ class Coordinator:
             )
             sockname = self._server.sockets[0].getsockname()
             self.address = (sockname[0], sockname[1])
+            if self.options.status_port is not None:
+                # the ring feeds /events with the most recent telemetry even
+                # when no JSONL sink was configured
+                self._status_ring = RingBufferSink(capacity=1024)
+                get_event_bus().attach(self._status_ring)
+                self._status = StatusServer(
+                    [obs_registry(), self.metrics],
+                    host=self.options.host,
+                    port=self.options.status_port,
+                    ring=self._status_ring,
+                )
+                await self._status.start()
         assert self.address is not None
         return self.address
 
@@ -126,6 +213,12 @@ class Coordinator:
         if self._watchdog is not None:
             self._watchdog.cancel()
             self._watchdog = None
+        if self._status is not None:
+            await self._status.stop()
+            self._status = None
+        if self._status_ring is not None:
+            get_event_bus().detach(self._status_ring)
+            self._status_ring = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -141,28 +234,42 @@ class Coordinator:
         if not isinstance(message, Hello):
             await self._reject(writer, "expected a hello frame before anything else")
             return
-        if message.protocol_version != PROTOCOL_VERSION or message.schema_version != SCHEMA_VERSION:
+        if message.protocol_version != PROTOCOL_VERSION:
             await self._reject(
                 writer,
-                f"version mismatch: server speaks protocol {PROTOCOL_VERSION} / schema {SCHEMA_VERSION}, "
-                f"client {message.client_name!r} speaks protocol {message.protocol_version} / "
-                f"schema {message.schema_version}",
+                f"protocol version mismatch: server speaks protocol {PROTOCOL_VERSION}, client "
+                f"{message.client_name!r} speaks protocol {message.protocol_version}",
             )
             return
+        if not MIN_SCHEMA_VERSION <= message.schema_version <= SCHEMA_VERSION:
+            await self._reject(
+                writer,
+                f"schema version mismatch: server accepts schema {MIN_SCHEMA_VERSION}..{SCHEMA_VERSION}, "
+                f"client {message.client_name!r} speaks schema {message.schema_version}",
+            )
+            return
+        # both sides speak the lower of the two schemas (schema-1 peers
+        # simply never see the optional trace fields populated)
+        negotiated_schema = min(SCHEMA_VERSION, message.schema_version)
         name = message.client_name
         resumed = name in self._known_clients
         superseded = self.actors.get(name)
         if superseded is not None:
             await superseded.stop(f"superseded by a new connection from {name!r}")
         self._known_clients.add(name)
-        self.stats["reconnects" if resumed else "connects"] += 1
+        self.count("reconnects" if resumed else "connects")
+        get_event_bus().emit(
+            "client_reconnect" if resumed else "client_connect",
+            client=name,
+            schema_version=negotiated_schema,
+        )
         try:
             await write_message(
                 writer,
                 HelloAck(
                     server_name=SERVER_NAME,
                     protocol_version=PROTOCOL_VERSION,
-                    schema_version=SCHEMA_VERSION,
+                    schema_version=negotiated_schema,
                     heartbeat_interval=self.options.heartbeat_interval,
                     resumed=resumed,
                 ),
@@ -171,6 +278,7 @@ class Coordinator:
             writer.close()
             return
         actor = ClientActor(self, name, reader, writer, self.options)
+        actor.schema_version = negotiated_schema
         self.actors[name] = actor
         actor.start()
         self._client_joined.set()
@@ -184,22 +292,29 @@ class Coordinator:
             writer.close()
 
     # -- batch execution ------------------------------------------------------------------
-    async def run_batch(self, payloads: list[bytes]) -> list[bytes]:
+    async def run_batch(
+        self, payloads: list[bytes], traces: "list[tuple[str, str]] | None" = None
+    ) -> list[bytes]:
         """Execute one batch of opaque task payloads, preserving order.
 
         Waits for the client quorum, announces a ``round_plan``, queues
         every payload for the actors' work loops and resolves when all
-        results are in.  Raises ``RuntimeError`` when the batch fails
-        (quorum never met, a task exhausted its attempts, a client
-        reported an unrecoverable error, or every client vanished and
-        none rejoined within ``connect_timeout``).
+        results are in.  ``traces`` optionally aligns one
+        ``(trace_id, span_id)`` pair with each payload so dispatches and
+        results carry telemetry identity over the wire.  Raises
+        ``RuntimeError`` when the batch fails (quorum never met, a task
+        exhausted its attempts, a client reported an unrecoverable
+        error, or every client vanished and none rejoined within
+        ``connect_timeout``).
         """
         if self._batch is not None and not self._batch.finished.is_set():
             raise RuntimeError("a batch is already in flight; run_batch calls must be sequential")
         if not payloads:
             return []
+        if traces is not None and len(traces) != len(payloads):
+            raise ValueError("traces must align one (trace_id, span_id) pair per payload")
         await self._wait_for_quorum()
-        batch = TaskBatch(next(self._batch_ids), payloads)
+        batch = TaskBatch(next(self._batch_ids), payloads, traces)
         self._batch = batch
         try:
             plan = RoundPlan(batch_id=batch.batch_id, num_tasks=len(payloads))
@@ -246,7 +361,15 @@ class Coordinator:
         """Put an unresolved envelope back on the pending queue."""
         if envelope.completed or envelope.batch.finished.is_set():
             return
-        self.stats["requeues"] += 1
+        self.count("requeues")
+        get_event_bus().emit(
+            "straggler_requeue",
+            trace_id=envelope.trace_id,
+            span_id=envelope.span_id,
+            task_index=envelope.index,
+            batch_id=envelope.batch.batch_id,
+            reason=reason,
+        )
         self._pending.put_nowait(envelope)
 
     def give_up(self, envelope: TaskEnvelope) -> None:
@@ -259,14 +382,14 @@ class Coordinator:
         """Record a client's result upload (first result per task wins)."""
         batch = self._batch
         if batch is None or batch.batch_id != message.batch_id or batch.finished.is_set():
-            self.stats["stale_results"] += 1
+            self.count("stale_results")
             return
         if not 0 <= message.task_index < len(batch.envelopes):
             batch.fail(f"client {message.client_name!r} uploaded an out-of-range task index {message.task_index}")
             return
         envelope = batch.envelopes[message.task_index]
         if envelope.completed:
-            self.stats["duplicate_results"] += 1
+            self.count("duplicate_results")
             return
         if message.error is not None:
             batch.fail(f"task {envelope.index} failed on client {message.client_name!r}: {message.error}")
@@ -275,7 +398,17 @@ class Coordinator:
         envelope.done.set()
         batch.results[envelope.index] = message.payload
         batch.remaining -= 1
-        self.stats["results"] += 1
+        self.count("results")
+        self.bytes_up.inc(len(message.payload))
+        get_event_bus().emit(
+            "task_result",
+            trace_id=envelope.trace_id,
+            span_id=envelope.span_id,
+            task_index=envelope.index,
+            batch_id=batch.batch_id,
+            client=message.client_name,
+            payload_bytes=len(message.payload),
+        )
         if batch.remaining == 0:
             batch.finished.set()
 
@@ -283,9 +416,11 @@ class Coordinator:
         """Unregister a dead actor and requeue its unresolved in-flight work."""
         if self.actors.get(actor.name) is actor:
             del self.actors[actor.name]
+        get_event_bus().emit("client_disconnect", client=actor.name, reason=reason)
         for envelope in list(actor.inflight):
             self.requeue(envelope, reason=f"client {actor.name!r} detached: {reason}")
         actor.inflight.clear()
+        self.update_inflight()
         if self._batch is not None and not self._batch.finished.is_set() and not self.actors:
             self._spawn_rejoin_watchdog(self._batch)
 

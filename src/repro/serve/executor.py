@@ -78,6 +78,9 @@ class RemoteExecutor(Executor):
         self._coordinator = coordinator
         if self.options.announce:
             print(f"repro-serve: listening on {self._address[0]}:{self._address[1]}", flush=True)
+            status = coordinator.status_address
+            if status is not None:
+                print(f"repro-serve: status endpoint on http://{status[0]}:{status[1]}/metrics", flush=True)
         return self._address
 
     def shutdown(self) -> None:
@@ -101,7 +104,15 @@ class RemoteExecutor(Executor):
         address = self.start()
         assert self._loop is not None and self._coordinator is not None and address is not None
         payloads = [pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL) for task in tasks]
-        future = asyncio.run_coroutine_threadsafe(self._coordinator.run_batch(payloads), self._loop)
+        # telemetry identity rides the wire alongside (not inside) the opaque
+        # payloads, so dispatch/result frames are joinable across logs
+        traces = [
+            (trace.trace_id, trace.span_id) if (trace := getattr(task, "trace", None)) is not None else ("", "")
+            for task in tasks
+        ]
+        future = asyncio.run_coroutine_threadsafe(
+            self._coordinator.run_batch(payloads, traces=traces), self._loop
+        )
         results = future.result()
         return [pickle.loads(result) for result in results]
 
@@ -114,6 +125,13 @@ class RemoteExecutor(Executor):
     def address(self) -> tuple[str, int] | None:
         """Bound ``(host, port)`` once started, else ``None``."""
         return self._address
+
+    @property
+    def status_address(self) -> tuple[str, int] | None:
+        """Bound ``(host, port)`` of the HTTP status endpoint, if enabled."""
+        if self._coordinator is None:
+            return None
+        return self._coordinator.status_address
 
     def stats(self) -> dict[str, int]:
         """Snapshot of the coordinator's churn counters (empty before start)."""

@@ -47,6 +47,9 @@ class ServeOptions:
     max_task_attempts: int = 5
     #: print a "listening on host:port" line when the server binds
     announce: bool = False
+    #: bind the HTTP status endpoint (/metrics, /healthz, /events) on this
+    #: port (0 = ephemeral); ``None`` disables it
+    status_port: int | None = None
 
     def __post_init__(self) -> None:
         """Validate the knob ranges."""
@@ -66,6 +69,8 @@ class ServeOptions:
             raise ValueError("max_inflight must be positive")
         if self.max_task_attempts <= 0:
             raise ValueError("max_task_attempts must be positive")
+        if self.status_port is not None and self.status_port < 0:
+            raise ValueError("status_port cannot be negative")
 
 
 #: process-wide defaults used by factory-built executors; reassigned (never

@@ -22,10 +22,18 @@ message                   direction  meaning
 ========================  =========  ==================================================
 
 Two version numbers gate the handshake: ``PROTOCOL_VERSION`` covers the
-framing and message vocabulary; ``SCHEMA_VERSION`` covers the *payload*
-pickles (task dataclasses, state dicts, deltas).  A client whose
-versions do not match the server's receives an ``error`` frame and is
+framing and message vocabulary and must match exactly; ``SCHEMA_VERSION``
+covers the *payload* pickles (task dataclasses, state dicts, deltas) and
+is **negotiated**: the server accepts any client schema in
+``[MIN_SCHEMA_VERSION, SCHEMA_VERSION]`` and its ``hello_ack`` advertises
+the lower of the two sides' versions, which both sides then speak.  A
+client outside that window receives an ``error`` frame and is
 disconnected before any task can cross the wire.
+
+Schema 2 added the optional ``trace_id``/``span_id`` telemetry fields on
+``task_dispatch`` and ``state_delta`` frames (defaulted to empty
+strings, so schema-1 peers interoperate unchanged — the negotiation
+exists to make that compatibility contract explicit on the wire).
 
 Payloads travel as pickles of this repository's own dataclasses, so the
 protocol is for **trusted networks only** — the loopback and
@@ -41,6 +49,7 @@ from typing import ClassVar
 __all__ = [
     "PROTOCOL_VERSION",
     "SCHEMA_VERSION",
+    "MIN_SCHEMA_VERSION",
     "MESSAGE_TYPES",
     "Message",
     "Hello",
@@ -58,8 +67,12 @@ __all__ = [
 #: framing + message vocabulary version (checked in the handshake)
 PROTOCOL_VERSION = 1
 
-#: payload pickle schema version (task dataclasses, state dicts, deltas)
-SCHEMA_VERSION = 1
+#: payload pickle schema version (task dataclasses, state dicts, deltas);
+#: v2 added optional trace fields on task_dispatch/state_delta frames
+SCHEMA_VERSION = 2
+
+#: oldest payload schema the server still accepts in the handshake
+MIN_SCHEMA_VERSION = 1
 
 #: wire name -> message class; populated by :func:`register_message`
 MESSAGE_TYPES: dict[str, type["Message"]] = {}
@@ -128,6 +141,9 @@ class TaskDispatch(Message):
     batch_id: int
     task_index: int
     payload: bytes
+    #: telemetry identity (schema ≥ 2; empty strings for schema-1 peers)
+    trace_id: str = ""
+    span_id: str = ""
 
 
 @register_message
@@ -169,6 +185,9 @@ class TaskResult(Message):
     payload: bytes
     client_name: str = ""
     error: str | None = None
+    #: telemetry identity echoed from the dispatch (schema ≥ 2)
+    trace_id: str = ""
+    span_id: str = ""
 
 
 @register_message

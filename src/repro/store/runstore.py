@@ -364,6 +364,14 @@ class RunRecorder(Callback):
         if not (due or stopping or is_last):
             return
         self.store.save_checkpoint(self.run_id, algorithm.checkpoint_state(), keep=self.keep)
+        from repro.obs.events import get_event_bus
+
+        get_event_bus().emit(
+            "checkpoint_saved",
+            trace_id=algorithm.current_trace_id,
+            run_id=self.run_id,
+            round=record.round_index,
+        )
         # the driver re-fires on_checkpoint when a checkpoint callback stops
         # the run (the record gains its late evaluation); the manifest write
         # above overwrites by round index, so only the log needs deduping

@@ -1,0 +1,7 @@
+"""RPL001 fixture: the exempt wall-clock shim — reading time is its whole job."""
+
+import time
+
+
+def wall_time() -> float:
+    return time.time()

@@ -60,6 +60,11 @@ class TestScopesAndExemptions:
         result = lint_paths([root / "repro" / "store" / "objects.py"], rules=["RPL006"], relative_to=root)
         assert result.clean
 
+    def test_rpl001_exempts_the_telemetry_clock_shim(self):
+        root = FIXTURES / "rpl001"
+        result = lint_paths([root / "repro" / "obs" / "clock.py"], rules=["RPL001"], relative_to=root)
+        assert result.clean
+
 
 class TestProjectWidePasses:
     def test_rpl007_flags_duplicate_registration_names(self):

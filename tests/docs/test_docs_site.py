@@ -91,6 +91,7 @@ DOCSTRING_SCOPED = [
     "src/repro/analysis",
     "src/repro/api",
     "src/repro/engine",
+    "src/repro/obs",
     "src/repro/serve",
     "src/repro/store",
     "src/repro/sim/library.py",

@@ -1,0 +1,133 @@
+"""JSONL sink rotation & line atomicity, ring buffer, stderr formatting."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import Event, EventBus
+from repro.obs.sinks import JsonlSink, RingBufferSink, StderrSink, format_event
+
+
+def _event(stamp: int, **data) -> Event:
+    return Event(type="task_start", timestamp=float(stamp), source="w", data=data)
+
+
+class TestJsonlSink:
+    def test_writes_one_parseable_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.write(_event(1, task_index=7))
+        sink.write(_event(2))
+        sink.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["data"] == {"task_index": 7}
+
+    def test_append_mode_preserves_existing_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for index in range(2):
+            sink = JsonlSink(path)
+            sink.write(_event(index))
+            sink.close()
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 2
+
+    def test_rotation_shifts_backups(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        line_size = len(json.dumps(_event(0).to_dict(), separators=(",", ":"), sort_keys=True)) + 1
+        sink = JsonlSink(path, max_bytes=int(line_size * 1.5), backups=2)
+        for index in range(5):
+            sink.write(_event(0))
+        sink.close()
+        # every generation holds exactly one complete line
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+        assert len((tmp_path / "events.jsonl.1").read_text(encoding="utf-8").splitlines()) == 1
+        assert len((tmp_path / "events.jsonl.2").read_text(encoding="utf-8").splitlines()) == 1
+        assert not (tmp_path / "events.jsonl.3").exists()  # bounded by backups
+
+    def test_rotation_with_zero_backups_discards(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=1, backups=0)
+        for index in range(3):
+            sink.write(_event(index))
+        sink.close()
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+        assert not (tmp_path / "events.jsonl.1").exists()
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.write(_event(0))
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(tmp_path / "e.jsonl", max_bytes=0)
+        with pytest.raises(ValueError, match="backups"):
+            JsonlSink(tmp_path / "e.jsonl", backups=-1)
+
+    def test_concurrent_emitters_never_interleave_lines(self, tmp_path):
+        """The atomicity unit is the line, even under rotation pressure."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=4096, backups=50)
+        bus = EventBus(source="stress")
+        bus.attach(sink)
+        threads_n, events_n = 4, 200
+        barrier = threading.Barrier(threads_n)
+
+        def emitter(worker: int) -> None:
+            barrier.wait()
+            for index in range(events_n):
+                bus.emit("task_start", worker=worker, index=index, pad="x" * 40)
+
+        threads = [threading.Thread(target=emitter, args=(worker,)) for worker in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        bus.close()
+        assert bus.dropped_sinks == []
+
+        seen = set()
+        for generation in [path, *sorted(tmp_path.glob("events.jsonl.*"))]:
+            for line in generation.read_text(encoding="utf-8").splitlines():
+                event = Event.from_dict(json.loads(line))  # every line parses strictly
+                seen.add((event.data["worker"], event.data["index"]))
+        assert seen == {(w, i) for w in range(threads_n) for i in range(events_n)}
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_events(self):
+        ring = RingBufferSink(capacity=3)
+        for index in range(5):
+            ring.write(_event(index, index=index))
+        assert [event.data["index"] for event in ring.events()] == [2, 3, 4]
+        ring.clear()
+        assert ring.events() == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingBufferSink(capacity=0)
+
+
+class TestStderrSink:
+    def test_pretty_lines_to_stream(self):
+        stream = io.StringIO()
+        sink = StderrSink(stream=stream)
+        sink.write(Event(type="round_end", timestamp=60.0, source="run", trace_id="t#1", data={"round": 2}))
+        line = stream.getvalue()
+        assert "round_end" in line and "[run]" in line and "t#1" in line and "round=2" in line
+
+
+class TestFormatEvent:
+    def test_empty_context_is_omitted(self):
+        line = format_event(Event(type="run_start", timestamp=0.0))
+        assert "[" not in line and "=" not in line
+        assert line.startswith("1970-01-01T00:00:00.000+00:00 run_start")
+
+    def test_data_keys_are_sorted(self):
+        line = format_event(Event(type="eval_done", timestamp=0.0, data={"b": 2, "a": 1}))
+        assert line.endswith("a=1 b=2")

@@ -1,0 +1,80 @@
+"""The HTTP status endpoint: /metrics, /healthz, /events and 404s."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.events import Event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import RingBufferSink
+from repro.obs.status import StatusServer
+
+
+@pytest.fixture()
+def loop():
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    yield loop
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+    loop.close()
+
+
+@pytest.fixture()
+def served(loop):
+    registry = MetricsRegistry()
+    registry.counter("rounds_total", help="completed rounds").inc(2)
+    ring = RingBufferSink(capacity=4)
+    ring.write(Event(type="round_start", timestamp=1.0, data={"round": 0}))
+    server = StatusServer([registry], ring=ring)
+    host, port = asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=10)
+    yield f"http://{host}:{port}"
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)
+
+
+def _get(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers["Content-Type"], response.read().decode("utf-8")
+
+
+class TestStatusServer:
+    def test_metrics_exposition(self, served):
+        status, content_type, body = _get(f"{served}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert "# TYPE rounds_total counter" in body
+        assert "rounds_total 2" in body
+
+    def test_healthz(self, served):
+        status, _, body = _get(f"{served}/healthz")
+        assert status == 200
+        assert body == "ok\n"
+
+    def test_events_returns_ring_snapshot(self, served):
+        status, content_type, body = _get(f"{served}/events")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        events = json.loads(body)
+        assert len(events) == 1
+        assert events[0]["type"] == "round_start"
+
+    def test_unknown_path_is_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{served}/nope")
+        assert excinfo.value.code == 404
+
+    def test_events_without_ring_is_empty_array(self, loop):
+        server = StatusServer([MetricsRegistry()])
+        host, port = asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=10)
+        try:
+            _, _, body = _get(f"http://{host}:{port}/events")
+            assert json.loads(body) == []
+        finally:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)

@@ -1,0 +1,73 @@
+"""Telemetry against a real run: emitted lifecycle events + bit-parity.
+
+Telemetry is an observer.  These tests pin both halves of that claim:
+an instrumented run emits the documented lifecycle events with coherent
+trace identity, and its :class:`TrainingHistory` is bit-identical to an
+uninstrumented same-seed run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import get_algorithm
+from repro.obs.events import configure_telemetry, shutdown_telemetry
+
+
+@pytest.fixture()
+def ring():
+    sinks = configure_telemetry(ring_size=256)
+    try:
+        yield sinks[0]
+    finally:
+        shutdown_telemetry()
+
+
+def _run(ci_prepared):
+    algorithm = get_algorithm("adaptivefl").build(ci_prepared)
+    return algorithm.run()
+
+
+class TestLifecycleEvents:
+    def test_run_emits_the_documented_events(self, ci_prepared, ring):
+        history = _run(ci_prepared)
+        events = ring.events()
+        types = [event.type for event in events]
+        rounds = len(history.records)
+        assert types[0] == "run_start"
+        assert types[-1] == "run_end"
+        assert types.count("round_start") == rounds
+        assert types.count("round_end") == rounds
+        assert "eval_done" in types
+
+    def test_round_events_share_one_trace_per_round(self, ci_prepared, ring):
+        _run(ci_prepared)
+        per_round: dict[int, set[str]] = {}
+        for event in ring.events():
+            if event.type in {"round_start", "round_end", "eval_done"}:
+                per_round.setdefault(event.data["round"], set()).add(event.trace_id)
+        assert per_round  # at least one round observed
+        for round_index, trace_ids in per_round.items():
+            assert len(trace_ids) == 1, f"round {round_index} spans traces {trace_ids}"
+            (trace_id,) = trace_ids
+            assert f"-r{round_index}#" in trace_id
+
+    def test_round_end_carries_duration_and_participants(self, ci_prepared, ring):
+        _run(ci_prepared)
+        round_ends = [event for event in ring.events() if event.type == "round_end"]
+        for event in round_ends:
+            assert event.data["duration_seconds"] >= 0
+            assert event.data["participants"] > 0
+
+
+class TestObserverParity:
+    def test_history_is_bit_identical_with_telemetry_on(self, ci_prepared):
+        baseline = _run(ci_prepared)
+        configure_telemetry(ring_size=256)
+        try:
+            observed = _run(ci_prepared)
+        finally:
+            shutdown_telemetry()
+        assert [record.to_dict() for record in observed.records] == [
+            record.to_dict() for record in baseline.records
+        ]

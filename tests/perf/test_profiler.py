@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.core.config import AdaptiveFLConfig, FederatedConfig, LocalTrainingConfig
 from repro.core.server import AdaptiveFL
-from repro.perf.profiler import Profiler
+from repro.perf.profiler import Profiler, render_summary
 
 
 class TestProfiler:
@@ -34,6 +34,43 @@ class TestProfiler:
             pass
         profiler.reset()
         assert profiler.summary() == {"scopes": [], "counters": {}}
+
+    def test_backing_registry_exposes_scopes_and_counters(self):
+        profiler = Profiler(enabled=True)
+        with profiler.scope("round.training"):
+            pass
+        profiler.count("transport.bytes_up", 128)
+        exposition = profiler.registry.render()
+        assert "profile_scope_round_training_count 1" in exposition
+        assert "profile_counter_transport_bytes_up 128" in exposition
+
+
+class TestRenderSummary:
+    def test_empty_profiler_renders_header_only(self):
+        text = render_summary(Profiler(enabled=True).summary())
+        lines = text.splitlines()
+        assert len(lines) == 1
+        assert lines[0].split() == ["scope", "calls", "seconds", "avg", "ms"]
+
+    def test_empty_dict_summary_is_tolerated(self):
+        # summaries reloaded from a hand-edited profile.json may omit keys
+        assert render_summary({}) == f"{'scope':<28} {'calls':>7} {'seconds':>10} {'avg ms':>9}"
+
+    def test_zero_duration_scope_renders_zero_average(self):
+        summary = {"scopes": [{"name": "noop", "calls": 0, "seconds": 0.0}], "counters": {}}
+        text = render_summary(summary)
+        assert "noop" in text
+        assert "0.000" in text  # avg ms must not divide by zero
+
+    def test_title_and_counter_formatting(self):
+        summary = {
+            "scopes": [],
+            "counters": {"bytes": 1234567.0, "ratio": 0.5},
+        }
+        text = render_summary(summary, title="profile — x")
+        assert text.startswith("profile — x")
+        assert "1,234,567" in text  # integral counters grouped, no decimals
+        assert "0.500" in text
 
 
 class TestRunProfiling:
