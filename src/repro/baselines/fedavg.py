@@ -46,16 +46,18 @@ class AllLargeFedAvg(RandomSelectionMixin, FederatedAlgorithm):
             round_index,
             [(selected[i], full_sizes, source) for i in keep],
         )
-        updates = [
-            ClientUpdate(
-                self.decode_result_state(result.state, full_sizes, self.global_state),
-                result.num_samples,
-            )
-            for result in results
-        ]
         losses = [result.mean_loss for result in results]
 
-        if updates:
+        if results:
+            # generator: each decoded update is folded into the aggregator's
+            # reused buffers and dropped before the next one is decoded
+            updates = (
+                ClientUpdate(
+                    self.decode_result_state(result.state, full_sizes, self.global_state),
+                    result.num_samples,
+                )
+                for result in results
+            )
             self.global_state = self.aggregate(updates)
         record = RoundRecord(
             round_index=round_index,

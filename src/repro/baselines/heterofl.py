@@ -71,15 +71,18 @@ class HeteroFL(RandomSelectionMixin, FederatedAlgorithm):
         keep = outcome.aggregated_positions() if outcome is not None else range(len(selected))
         kept = [assignments[i] for i in keep]
         results = self.run_local_training(round_index, kept)
-        updates = [
-            ClientUpdate(
-                self.decode_result_state(result.state, sizes, self.global_state), result.num_samples
-            )
-            for (_, sizes, _), result in zip(kept, results)
-        ]
         losses = [result.mean_loss for result in results]
 
-        if updates:
+        if results:
+            # generator: each decoded update is folded into the aggregator's
+            # reused buffers and dropped before the next one is decoded
+            updates = (
+                ClientUpdate(
+                    self.decode_result_state(result.state, sizes, self.global_state),
+                    result.num_samples,
+                )
+                for (_, sizes, _), result in zip(kept, results)
+            )
             self.global_state = self.aggregate(updates)
         # dropped/late dispatches return nothing and count as pure waste
         aggregated = set(keep)

@@ -23,7 +23,7 @@ double precision.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -61,6 +61,8 @@ class HeterogeneousAggregator:
         self._buffers: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
         # (name, upload shape) -> prefix-slice region
         self._regions: dict[tuple[str, tuple[int, ...]], tuple[slice, ...]] = {}
+        # open streaming round: the global state being aggregated into, or None
+        self._round_state: dict[str, np.ndarray] | None = None
 
     def _buffers_for(self, name: str, reference: np.ndarray):
         cached = self._buffers.get(name)
@@ -92,41 +94,89 @@ class HeterogeneousAggregator:
             self._regions[key] = region
         return region
 
+    # -- streaming rounds ------------------------------------------------------------
+    def begin_round(self, global_state: Mapping[str, np.ndarray]) -> None:
+        """Open a streaming round: zero the accumulation buffers.
+
+        The memory-bounded entry point for fleet-scale rounds: feed
+        uploads one at a time with :meth:`add` (each can be decoded,
+        accumulated and dropped before the next exists) and close with
+        :meth:`finalize`.  Peak RSS holds one upload plus the reused
+        buffers — never all client deltas at once.
+        """
+        if self._round_state is not None:
+            raise RuntimeError("begin_round called while a streaming round is already open")
+        state = {name: np.asarray(value) for name, value in global_state.items()}
+        for name, old_value in state.items():
+            self._buffers_for(name, old_value)
+        self._round_state = state
+
+    def add(self, update: ClientUpdate) -> None:
+        """Accumulate one upload into the open round's partial sums.
+
+        Per (name, element) the accumulation order over uploads equals
+        the call order — the same order the one-shot :meth:`aggregate`
+        walks them in — so streaming is bit-identical to one-shot.
+        """
+        if self._round_state is None:
+            raise RuntimeError("add called with no open round (call begin_round first)")
+        weight = float(update.num_samples)
+        for name, old_value in self._round_state.items():
+            tensor = update.state.get(name)
+            if tensor is None:
+                continue
+            tensor = np.asarray(tensor)
+            region = self.region_for(name, old_value.shape, tensor.shape)
+            accumulator, weight_sum, scratch, _ = self._buffers[name]
+            # weighted accumulation without per-update temporaries
+            target = scratch[region]
+            np.multiply(tensor, weight, out=target, casting="unsafe")
+            accumulator[region] += target
+            weight_sum[region] += weight
+
+    def finalize(self) -> dict[str, np.ndarray]:
+        """Close the open round and return the merged global state.
+
+        Elements not covered by any upload keep their previous value; a
+        round with zero uploads returns a copy of the old state.
+        """
+        if self._round_state is None:
+            raise RuntimeError("finalize called with no open round (call begin_round first)")
+        state, self._round_state = self._round_state, None
+        new_state: dict[str, np.ndarray] = {}
+        for name, old_value in state.items():
+            accumulator, weight_sum, _, covered = self._buffers[name]
+            np.greater(weight_sum, 0, out=covered)
+            merged = np.array(old_value, copy=True)
+            np.divide(accumulator, weight_sum, out=merged, where=covered)
+            new_state[name] = merged
+        return new_state
+
+    def abort_round(self) -> None:
+        """Discard an open round (error paths); a no-op when none is open."""
+        self._round_state = None
+
     def aggregate(
         self,
         global_state: Mapping[str, np.ndarray],
-        updates: Sequence[ClientUpdate],
+        updates: Iterable[ClientUpdate],
     ) -> dict[str, np.ndarray]:
         """Aggregate heterogeneous submodel uploads into a new global state.
 
         Every uploaded tensor must be a prefix block of the corresponding
         global tensor (same number of axes, each extent no larger).
         Elements not covered by any upload keep their previous value.
+        ``updates`` may be any iterable — a generator streams uploads
+        through the reused buffers without ever holding them all.
         """
-        if not updates:
-            return {name: np.array(value, copy=True) for name, value in global_state.items()}
-
-        new_state: dict[str, np.ndarray] = {}
-        for name, old_value in global_state.items():
-            old_value = np.asarray(old_value)
-            accumulator, weight_sum, scratch, covered = self._buffers_for(name, old_value)
+        self.begin_round(global_state)
+        try:
             for update in updates:
-                tensor = update.state.get(name)
-                if tensor is None:
-                    continue
-                tensor = np.asarray(tensor)
-                region = self.region_for(name, old_value.shape, tensor.shape)
-                weight = float(update.num_samples)
-                # weighted accumulation without per-update temporaries
-                target = scratch[region]
-                np.multiply(tensor, weight, out=target, casting="unsafe")
-                accumulator[region] += target
-                weight_sum[region] += weight
-            np.greater(weight_sum, 0, out=covered)
-            merged = np.array(old_value, copy=True)
-            np.divide(accumulator, weight_sum, out=merged, where=covered)
-            new_state[name] = merged
-        return new_state
+                self.add(update)
+        except BaseException:
+            self.abort_round()
+            raise
+        return self.finalize()
 
 
 def aggregate_heterogeneous(

@@ -90,6 +90,7 @@ class FederatedAlgorithm(ABC):
         testbed: TestbedSimulator | None = None,
         scenario: "ScenarioSpec | str | None" = None,
         seed: int = 0,
+        fleet_engine: str = "auto",
     ):
         if partition.num_clients != len(profiles):
             raise ValueError("partition and device profiles must cover the same number of clients")
@@ -127,7 +128,7 @@ class FederatedAlgorithm(ABC):
             )
         self.scenario: "ScenarioSpec | None" = scenario
         self.fleet: "FleetSimulator | None" = (
-            FleetSimulator(scenario, num_clients=partition.num_clients, seed=seed)
+            FleetSimulator(scenario, num_clients=partition.num_clients, seed=seed, engine=fleet_engine)
             if scenario is not None
             else None
         )
@@ -361,8 +362,13 @@ class FederatedAlgorithm(ABC):
         reference = slice_state_dict(source_state, self.architecture, dict(group_sizes))
         return decode_upload(uploaded, reference)
 
-    def aggregate(self, updates: "Sequence[ClientUpdate]") -> dict[str, np.ndarray]:
-        """Heterogeneous aggregation into reused accumulation buffers."""
+    def aggregate(self, updates: "Iterable[ClientUpdate]") -> dict[str, np.ndarray]:
+        """Heterogeneous aggregation into reused accumulation buffers.
+
+        ``updates`` may be a generator: uploads are decoded, accumulated
+        into the reused partial-sum buffers and released one at a time,
+        so peak memory never holds every client delta at once.
+        """
         with self.profiler.scope("round.aggregate"):
             return self._aggregator.aggregate(self.global_state, updates)
 
@@ -477,6 +483,16 @@ class FederatedAlgorithm(ABC):
             return None
         return self.fleet.available_clients(round_index)
 
+    def selectable_mask(self, round_index: int) -> "np.ndarray | None":
+        """Boolean reachability mask (None = everyone reachable).
+
+        The fleet-scale twin of :meth:`selectable_clients`: O(N) vector
+        work, no Python list — streaming selection paths consume this.
+        """
+        if self.fleet is None:
+            return None
+        return self.fleet.available_mask(round_index)
+
     def plan_round_outcome(
         self,
         round_index: int,
@@ -529,7 +545,40 @@ class FederatedAlgorithm(ABC):
         record.dropped_clients = outcome.dropped_client_ids()
         record.bytes_down = outcome.bytes_down
         record.bytes_up = outcome.bytes_up
+        self._observe_fleet_metrics(record.round_index, outcome.round_seconds)
         return record
+
+    #: bucket bounds for the simulated round-duration histogram — simulated
+    #: rounds span sub-second static fleets to day-long deadline waits
+    _SIM_ROUND_BUCKETS = (0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 14400.0, 86400.0)
+
+    def _observe_fleet_metrics(self, round_index: int, round_seconds: float) -> None:
+        """Publish fleet gauges + the simulated-round histogram (``repro metrics``).
+
+        Operational telemetry only — reads fleet state, never perturbs it
+        or the training path.  Gauges track the population the scenario
+        currently models (online / battery-recovering / battery-dead);
+        the histogram tracks *simulated* seconds per round, complementing
+        the real-time ``round_duration_seconds``.
+        """
+        if self.fleet is None:
+            return
+        stats = self.fleet.population_stats(round_index)
+        registry = obs_registry()
+        registry.gauge("sim_devices_online", "fleet devices reachable this round").set(
+            stats["online"]
+        )
+        registry.gauge("sim_devices_recovering", "fleet devices recharging below resume level").set(
+            stats["recovering"]
+        )
+        registry.gauge("sim_devices_battery_dead", "fleet devices at zero battery charge").set(
+            stats["battery_dead"]
+        )
+        registry.histogram(
+            "sim_round_seconds",
+            "simulated wall-clock seconds of one federated round",
+            buckets=self._SIM_ROUND_BUCKETS,
+        ).observe(round_seconds)
 
     # -- evaluation -----------------------------------------------------------------------
     def evaluate(self) -> tuple[float, dict[str, float]]:

@@ -20,8 +20,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.model_pool import LEVELS, ModelPool, SubmodelConfig
+from repro.sim.cohorts import DEFAULT_COHORT_SIZE, cohort_counts, nth_masked_index
 
-__all__ = ["RLClientSelector"]
+__all__ = ["RLClientSelector", "StreamingRLClientSelector"]
 
 
 class RLClientSelector:
@@ -178,3 +179,319 @@ class RLClientSelector:
             "curiosity": self.curiosity_table.copy(),
             "resource": self.resource_table.copy(),
         }
+
+
+class StreamingRLClientSelector:
+    """The same RL selection policy with O(selected) memory and bookkeeping.
+
+    The dense :class:`RLClientSelector` holds ``(3 + 2p+1) × num_clients``
+    tables and walks every client per selection — fine for dozens of
+    devices, infeasible for 10⁶.  This selector keeps a column *only* for
+    clients that have ever been updated (the selected set); every
+    untouched client implicitly holds the all-ones initial column, so its
+    reward is a single shared value per model.  Selection then splits
+    into two tiers: exact per-client rewards over the touched clients,
+    plus ``untouched_count × default_reward`` mass resolved by rank
+    lookup into the availability mask (cohort-sharded, never
+    materialising the population).
+
+    Reward arithmetic is copied operation-for-operation from the dense
+    selector, so for identical update histories the two produce identical
+    probabilities — the equivalence the test suite pins.  The list-based
+    :meth:`select` draws exactly like the dense selector (bit-identical
+    small-N drop-in); :meth:`select_from_mask` is the streaming draw for
+    large fleets and uses its own (equally deterministic) draw scheme.
+    """
+
+    def __init__(
+        self,
+        pool: ModelPool,
+        num_clients: int,
+        strategy: str = "rl-cs",
+        resource_reward_cap: float = 0.5,
+        cohort_size: int = DEFAULT_COHORT_SIZE,
+    ):
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        valid = {"rl-cs", "rl-c", "rl-s", "random"}
+        if strategy not in valid:
+            raise ValueError(f"strategy must be one of {sorted(valid)}, got {strategy!r}")
+        if not 0.0 < resource_reward_cap <= 1.0:
+            raise ValueError("resource_reward_cap must be in (0, 1]")
+        if cohort_size <= 0:
+            raise ValueError("cohort_size must be positive")
+        self.pool = pool
+        self.num_clients = num_clients
+        self.strategy = strategy
+        self.resource_reward_cap = resource_reward_cap
+        self.cohort_size = cohort_size
+        self.models_per_level = pool.config.models_per_level
+        # Algorithm 1, lines 1-2: every client starts at all-ones; only
+        # clients that get updated ever materialise a column.
+        self._curiosity_columns: dict[int, np.ndarray] = {}
+        self._resource_columns: dict[int, np.ndarray] = {}
+        self._default_curiosity = np.ones(len(LEVELS), dtype=np.float64)
+        self._default_resource = np.ones(len(pool), dtype=np.float64)
+        self._touched_sorted: list[int] | None = []
+        self._level_rank_cache: dict[str, list[int]] = {}
+
+    # -- sparse columns --------------------------------------------------------------
+    @property
+    def num_touched(self) -> int:
+        """How many clients hold materialised columns (the selected set)."""
+        return len(self._resource_columns)
+
+    def _touched_ids(self) -> list[int]:
+        """Touched client ids in ascending order (cached until growth)."""
+        if self._touched_sorted is None:
+            self._touched_sorted = sorted(self._resource_columns)
+        return self._touched_sorted
+
+    def _columns_for(self, client: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (curiosity, resource) columns a client currently holds."""
+        return (
+            self._curiosity_columns.get(client, self._default_curiosity),
+            self._resource_columns.get(client, self._default_resource),
+        )
+
+    def _materialise(self, client: int) -> tuple[np.ndarray, np.ndarray]:
+        """Get-or-create writable columns for one client."""
+        curiosity = self._curiosity_columns.get(client)
+        if curiosity is None:
+            curiosity = self._curiosity_columns[client] = self._default_curiosity.copy()
+            self._resource_columns[client] = self._default_resource.copy()
+            self._touched_sorted = None
+        return curiosity, self._resource_columns[client]
+
+    # -- rewards (operation-for-operation the dense selector's math) -----------------
+    def _level_ranks(self, level: str) -> list[int]:
+        """Pool ranks belonging to one size level."""
+        ranks = self._level_rank_cache.get(level)
+        if ranks is None:
+            ranks = self._level_rank_cache[level] = [cfg.rank for cfg in self.pool if cfg.level == level]
+        return ranks
+
+    def _resource_reward_column(self, model: SubmodelConfig, column: np.ndarray) -> float:
+        total = float(column.sum())
+        if total <= 0:
+            return 0.0
+        numerator = 0.0
+        for rank in self._level_ranks(model.level):
+            numerator += float(column[rank:].sum())
+        return numerator / (self.models_per_level * total)
+
+    def _curiosity_reward_column(self, model: SubmodelConfig, column: np.ndarray) -> float:
+        level_index = self.pool.level_index(model.level)
+        count = column[level_index]
+        return float(1.0 / np.sqrt(max(count, 1e-12)))
+
+    def resource_reward(self, model: SubmodelConfig, client: int) -> float:
+        """Paper's ``R_s``: success mass of the model's level, cumulated upward."""
+        return self._resource_reward_column(model, self._columns_for(client)[1])
+
+    def curiosity_reward(self, model: SubmodelConfig, client: int) -> float:
+        """Paper's ``R_c``: MBIE-EB bonus ``1/sqrt(T_c[type(m)][c])``."""
+        return self._curiosity_reward_column(model, self._columns_for(client)[0])
+
+    def combined_reward(self, model: SubmodelConfig, client: int) -> float:
+        """Strategy-dependent final reward for one (model, client) pair."""
+        curiosity, resource = self._columns_for(client)
+        return self._combined_reward_columns(model, curiosity, resource)
+
+    def _combined_reward_columns(
+        self, model: SubmodelConfig, curiosity: np.ndarray, resource: np.ndarray
+    ) -> float:
+        if self.strategy == "random":
+            return 1.0
+        if self.strategy == "rl-c":
+            return self._curiosity_reward_column(model, curiosity)
+        if self.strategy == "rl-s":
+            return self._resource_reward_column(model, resource)
+        capped = min(self.resource_reward_cap, self._resource_reward_column(model, resource))
+        return capped * self._curiosity_reward_column(model, curiosity)
+
+    def default_reward(self, model: SubmodelConfig) -> float:
+        """The shared reward every untouched (all-ones) client holds for ``model``."""
+        return self._combined_reward_columns(model, self._default_curiosity, self._default_resource)
+
+    def selection_probabilities(self, model: SubmodelConfig, allowed: list[int]) -> np.ndarray:
+        """Normalised selection probabilities over the ``allowed`` clients."""
+        if not allowed:
+            raise ValueError("no clients available for selection")
+        rewards = np.array([self.combined_reward(model, client) for client in allowed], dtype=np.float64)
+        rewards = np.clip(rewards, 0.0, None)
+        total = rewards.sum()
+        if total <= 0:
+            return np.full(len(allowed), 1.0 / len(allowed))
+        return rewards / total
+
+    # -- selection -------------------------------------------------------------------
+    def select(
+        self,
+        model: SubmodelConfig,
+        rng: np.random.Generator,
+        excluded: set[int] | None = None,
+    ) -> int:
+        """Dense-compatible selection over an explicit allowed list.
+
+        Walks ``range(num_clients)`` like the dense selector and consumes
+        the generator identically, so small-N runs are bit-identical
+        drop-ins.  Large fleets use :meth:`select_from_mask` instead.
+        """
+        excluded = excluded or set()
+        allowed = [client for client in range(self.num_clients) if client not in excluded]
+        if not allowed:
+            raise ValueError("every client is already selected this round")
+        probabilities = self.selection_probabilities(model, allowed)
+        choice = rng.choice(len(allowed), p=probabilities)
+        return int(allowed[choice])
+
+    def select_from_mask(
+        self,
+        model: SubmodelConfig,
+        rng: np.random.Generator,
+        allowed_mask: np.ndarray,
+    ) -> int:
+        """Streaming selection: sample one client from a boolean mask.
+
+        Two-tier sampling over the same distribution
+        :meth:`selection_probabilities` defines: exact rewards for the
+        touched clients in the mask, one shared default-reward mass for
+        the untouched remainder, resolved to a client id by rank lookup
+        (cohort-sharded).  O(touched · pool) reward work plus one
+        vectorised pass over the mask — never a per-client Python loop
+        over the population.  ``allowed_mask`` is not mutated.
+        """
+        allowed_mask = np.asarray(allowed_mask, dtype=bool)
+        if allowed_mask.shape != (self.num_clients,):
+            raise ValueError(
+                f"allowed_mask has shape {allowed_mask.shape}, expected ({self.num_clients},)"
+            )
+        allowed_total = int(allowed_mask.sum())
+        if allowed_total == 0:
+            raise ValueError("every client is already selected this round")
+        touched = [client for client in self._touched_ids() if allowed_mask[client]]
+        rewards = np.clip(
+            np.array([self.combined_reward(model, client) for client in touched], dtype=np.float64),
+            0.0,
+            None,
+        )
+        untouched_total = allowed_total - len(touched)
+        default = max(0.0, self.default_reward(model))
+        total_mass = float(rewards.sum()) + untouched_total * default
+        if total_mass <= 0:
+            # degenerate rewards: uniform over the allowed mask
+            return self._nth_allowed(allowed_mask, int(rng.integers(0, allowed_total)))
+        threshold = float(rng.random()) * total_mass
+        accumulated = 0.0
+        for client, reward in zip(touched, rewards):
+            accumulated += float(reward)
+            if threshold < accumulated:
+                return client
+        if untouched_total == 0 or default <= 0.0:
+            return touched[-1]  # float-edge fallback: the mass ended mid-walk
+        rank = min(int((threshold - accumulated) / default), untouched_total - 1)
+        return self._nth_untouched(allowed_mask, touched, rank)
+
+    def _nth_allowed(self, mask: np.ndarray, rank: int) -> int:
+        """The ``rank``-th set bit of ``mask``, found cohort by cohort."""
+        counts = cohort_counts(mask, self.cohort_size)
+        offsets = np.cumsum(counts)
+        cohort = int(np.searchsorted(offsets, rank, side="right"))
+        before = int(offsets[cohort - 1]) if cohort > 0 else 0
+        base = cohort * self.cohort_size
+        return base + nth_masked_index(mask[base : base + self.cohort_size], rank - before)
+
+    def _nth_untouched(self, allowed_mask: np.ndarray, touched: list[int], rank: int) -> int:
+        """The ``rank``-th allowed client that holds no materialised column."""
+        mask = allowed_mask.copy()
+        if touched:
+            mask[np.asarray(touched, dtype=np.int64)] = False
+        return self._nth_allowed(mask, rank)
+
+    # -- table updates ---------------------------------------------------------------
+    def update(self, sent: SubmodelConfig, returned: SubmodelConfig, client: int) -> None:
+        """Apply Algorithm 1, lines 12-26, after a client's round finishes."""
+        if not 0 <= client < self.num_clients:
+            raise IndexError(f"client {client} out of range")
+        if returned.num_params > sent.num_params:
+            raise ValueError("a device cannot return a larger model than it received")
+        curiosity, resource = self._materialise(client)
+
+        # Lines 12-13: curiosity counts for the dispatched and returned levels.
+        curiosity[self.pool.level_index(sent.level)] += 1
+        curiosity[self.pool.level_index(returned.level)] += 1
+
+        max_rank = len(self.pool) - 1
+        if sent.rank == returned.rank:
+            # Lines 15-18: the client handled the model unchanged, so every
+            # model at least as large gains confidence; the full model gains
+            # the extra p-1 bonus of line 18.
+            resource[sent.rank : max_rank + 1] += 1.0
+            resource[max_rank] += self.models_per_level - 1
+        else:
+            # Lines 20-25: the client had to prune, so the returned size is
+            # strongly reinforced and larger sizes are progressively
+            # penalised (floored at zero).
+            resource[returned.rank] += self.models_per_level
+            penalty = 0.0
+            for rank in range(returned.rank, max_rank + 1):
+                resource[rank] = max(resource[rank] - penalty, 0.0)
+                penalty += 1.0
+
+    # -- checkpointing ---------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """The touched columns only, keyed for the experiment store.
+
+        ``client_ids`` lists the touched clients in ascending order;
+        ``curiosity_columns``/``resource_columns`` stack their columns in
+        that order.  Untouched clients are implicit (all-ones), which is
+        what keeps checkpoints O(selected) at fleet scale.
+        """
+        ids = self._touched_ids()
+        if ids:
+            curiosity = np.stack([self._curiosity_columns[c] for c in ids], axis=1)
+            resource = np.stack([self._resource_columns[c] for c in ids], axis=1)
+        else:
+            curiosity = np.zeros((len(LEVELS), 0), dtype=np.float64)
+            resource = np.zeros((len(self.pool), 0), dtype=np.float64)
+        return {
+            "client_ids": np.asarray(ids, dtype=np.int64),
+            "curiosity_columns": curiosity,
+            "resource_columns": resource,
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output (shape-checked, bit-exact)."""
+        for name in ("client_ids", "curiosity_columns", "resource_columns"):
+            if name not in state:
+                raise ValueError(f"selector state is missing {name!r}")
+        ids = np.asarray(state["client_ids"], dtype=np.int64)
+        curiosity = np.asarray(state["curiosity_columns"], dtype=np.float64)
+        resource = np.asarray(state["resource_columns"], dtype=np.float64)
+        if curiosity.shape != (len(LEVELS), ids.size) or resource.shape != (len(self.pool), ids.size):
+            raise ValueError(
+                f"selector column shapes {curiosity.shape}/{resource.shape} do not match "
+                f"{ids.size} client ids for this pool; the checkpoint belongs to a "
+                "different pool configuration"
+            )
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_clients):
+            raise ValueError("selector state references clients outside this fleet")
+        self._curiosity_columns = {int(c): curiosity[:, i].copy() for i, c in enumerate(ids)}
+        self._resource_columns = {int(c): resource[:, i].copy() for i, c in enumerate(ids)}
+        self._touched_sorted = None
+
+    # -- introspection ---------------------------------------------------------------
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Dense table views rebuilt from the sparse columns (tests, plots).
+
+        Equal to the dense selector's :meth:`RLClientSelector.snapshot`
+        after an identical update history; only call at small N.
+        """
+        curiosity = np.ones((len(LEVELS), self.num_clients), dtype=np.float64)
+        resource = np.ones((len(self.pool), self.num_clients), dtype=np.float64)
+        for client, column in self._curiosity_columns.items():
+            curiosity[:, client] = column
+        for client, column in self._resource_columns.items():
+            resource[:, client] = column
+        return {"curiosity": curiosity, "resource": resource}

@@ -55,6 +55,20 @@ _EXPORTS: dict[str, str] = {
     "ClientOutcome": "repro.sim.fleet",
     "RoundOutcome": "repro.sim.fleet",
     "FleetSimulator": "repro.sim.fleet",
+    # vectorized fleet engine (array-first round API)
+    "DispatchBatch": "repro.sim.fleet",
+    "RoundOutcomeBatch": "repro.sim.fleet",
+    "BATCHED_DRAW_THRESHOLD": "repro.sim.fleet",
+    # cohort-sharded streaming selection
+    "STREAMING_SELECTION_THRESHOLD": "repro.sim.cohorts",
+    "DEFAULT_COHORT_SIZE": "repro.sim.cohorts",
+    "cohort_counts": "repro.sim.cohorts",
+    "nth_masked_index": "repro.sim.cohorts",
+    "masked_choice_without_replacement": "repro.sim.cohorts",
+    "reservoir_sample": "repro.sim.cohorts",
+    "streaming_top_k": "repro.sim.cohorts",
+    "iter_cohort_slices": "repro.sim.cohorts",
+    "expand_cohort": "repro.sim.cohorts",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -4,22 +4,45 @@ One fleet instance backs one algorithm run.  It owns
 
 * the **device fleet**: the scenario's templates expanded to the
   experiment's client count (fixed counts verbatim when they match,
-  largest-remainder proportions otherwise),
+  largest-remainder proportions otherwise), held as NumPy
+  struct-of-arrays so million-device fleets never materialise a Python
+  object per client,
 * the **availability trace**: which clients are reachable at each round
   (always / Markov churn / diurnal duty cycle, overlaid with battery
-  state),
+  state), exposed both as a boolean :meth:`FleetSimulator.available_mask`
+  for large fleets and the legacy :meth:`FleetSimulator.available_clients`
+  list façade,
 * the **round simulation**: download → local compute → upload per
-  participant on the :class:`~repro.sim.events.EventQueue`, with link
-  latency/jitter, per-round compute-throughput jitter, a FIFO
-  :class:`~repro.sim.events.TransferGate` bounding server transfer
-  concurrency, mid-round dropouts and battery depletion,
+  participant, closed-form vectorised when the server is uncontended or
+  on the :class:`~repro.sim.events.EventQueue` when a FIFO
+  :class:`~repro.sim.events.TransferGate` bounds server transfer
+  concurrency, with link latency/jitter, per-round compute-throughput
+  jitter, mid-round dropouts and battery depletion,
 * **deadline-aware arrival accounting**: which uploads made it back by
   the synchronous-round deadline (absolute seconds or a factor of the
   round's median finish time) and therefore join aggregation.
 
+Two orthogonal knobs govern scale-out:
+
+* ``engine`` — ``"legacy"`` walks per-dispatch Python objects and
+  closures (the historical code path, kept as the benchmark baseline and
+  parity reference); ``"vectorized"`` (the ``"auto"`` default) computes
+  whole rounds as NumPy array arithmetic.  Both engines consume the same
+  pre-drawn randomness and use identical float64 operation order, so for
+  a fixed ``draw_mode`` their outcomes are **bit-identical**.
+* ``draw_mode`` — ``"per-client"`` keys every stochastic quantity on
+  ``(seed, tag, round, client)`` exactly as the historical code did (one
+  ``Generator`` per key); ``"batched"`` draws one full-population vector
+  per ``(seed, tag, round)`` key, which is what makes 10⁶-device rounds
+  feasible.  The two modes draw different (equally deterministic)
+  numbers; ``"auto"`` picks per-client below
+  :data:`BATCHED_DRAW_THRESHOLD` clients so small fleets reproduce the
+  historical traces bit-for-bit, batched at scale.
+
 Determinism: every stochastic quantity is drawn up-front from a
 :class:`numpy.random.SeedSequence` keyed on ``(seed, tag, round,
-client)`` — a key-space disjoint from the training streams of
+client)`` (per-client mode) or ``(seed, tag, round)`` (batched mode) — a
+key-space disjoint from the training streams of
 :mod:`repro.engine.rng` — and the event core breaks ties FIFO, so a
 same-seed run is bit-identical across executors, worker counts and
 process boundaries.
@@ -34,8 +57,10 @@ wall-clock numbers bit-for-bit.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -44,7 +69,15 @@ from repro.devices.testbed import DEFAULT_CAPACITY_FRACTIONS, TestbedSimulator, 
 from repro.sim.events import EventQueue, TransferGate
 from repro.sim.scenario import DeviceTemplate, ScenarioSpec
 
-__all__ = ["ClientDispatch", "ClientOutcome", "RoundOutcome", "FleetSimulator"]
+__all__ = [
+    "ClientDispatch",
+    "ClientOutcome",
+    "RoundOutcome",
+    "DispatchBatch",
+    "RoundOutcomeBatch",
+    "FleetSimulator",
+    "BATCHED_DRAW_THRESHOLD",
+]
 
 # shared with the legacy test-bed so paper_testbed parity can never drift
 #: bytes per parameter (float32 on the wire)
@@ -59,6 +92,11 @@ CAPACITY_FRACTIONS = DEFAULT_CAPACITY_FRACTIONS
 #: resource-model draws, which use shorter entropy tuples
 _SIM_TAG = 0x51E47
 _COMPUTE, _LINK_DOWN, _LINK_UP, _DROPOUT, _AVAILABILITY, _PHASE = range(6)
+
+#: fleets at or above this size default to batched per-round draws
+#: (``draw_mode="auto"``); below it they keep the historical per-client
+#: draw keying so existing small-N traces stay bit-identical
+BATCHED_DRAW_THRESHOLD = 4096
 
 
 @dataclass(frozen=True)
@@ -122,18 +160,247 @@ class RoundOutcome:
         return sum(client.bytes_up for client in self.clients)
 
 
+@dataclass
+class DispatchBatch:
+    """A round's dispatches as column arrays (the scale-path twin of
+    ``list[ClientDispatch]``).
+
+    Scalar fields broadcast: pass a single int for ``params_down`` etc.
+    and it is expanded to every client in the batch.
+    """
+
+    client_ids: np.ndarray
+    params_down: np.ndarray
+    params_up: np.ndarray
+    flops_per_sample: np.ndarray
+    num_samples: np.ndarray
+    local_epochs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.client_ids = np.atleast_1d(np.asarray(self.client_ids, dtype=np.int64))
+        n = self.client_ids.shape[0]
+        for name in ("params_down", "params_up", "flops_per_sample", "num_samples", "local_epochs"):
+            column = np.asarray(getattr(self, name), dtype=np.int64)
+            if column.ndim == 0:
+                column = np.full(n, int(column), dtype=np.int64)
+            if column.shape != (n,):
+                raise ValueError(
+                    f"dispatch column {name!r} has shape {column.shape}, expected ({n},)"
+                )
+            setattr(self, name, column)
+
+    def __len__(self) -> int:
+        return int(self.client_ids.shape[0])
+
+    @classmethod
+    def from_dispatches(cls, dispatches: Sequence[ClientDispatch]) -> "DispatchBatch":
+        """Column-ise a list of per-client dispatches (order preserved)."""
+        return cls(
+            client_ids=np.array([d.client_id for d in dispatches], dtype=np.int64),
+            params_down=np.array([d.params_down for d in dispatches], dtype=np.int64),
+            params_up=np.array([d.params_up for d in dispatches], dtype=np.int64),
+            flops_per_sample=np.array([d.flops_per_sample for d in dispatches], dtype=np.int64),
+            num_samples=np.array([d.num_samples for d in dispatches], dtype=np.int64),
+            local_epochs=np.array([d.local_epochs for d in dispatches], dtype=np.int64),
+        )
+
+    def to_dispatches(self) -> list[ClientDispatch]:
+        """The row view back: one ``ClientDispatch`` per batch entry."""
+        return [
+            ClientDispatch(
+                client_id=int(self.client_ids[i]),
+                params_down=int(self.params_down[i]),
+                params_up=int(self.params_up[i]),
+                flops_per_sample=int(self.flops_per_sample[i]),
+                num_samples=int(self.num_samples[i]),
+                local_epochs=int(self.local_epochs[i]),
+            )
+            for i in range(len(self))
+        ]
+
+
+@dataclass
+class RoundOutcomeBatch:
+    """A round's outcome as column arrays (NaN codes "never happened")."""
+
+    round_index: int
+    client_ids: np.ndarray
+    bytes_down: np.ndarray
+    bytes_up: np.ndarray
+    #: upload-complete times; NaN = never returned
+    finish_seconds: np.ndarray
+    dropped: np.ndarray
+    aggregated: np.ndarray
+    compute_seconds: np.ndarray
+    #: when dropped clients went silent; NaN = did not fail
+    failure_seconds: np.ndarray
+    deadline_seconds: float | None
+    round_seconds: float
+
+    def __len__(self) -> int:
+        return int(self.client_ids.shape[0])
+
+    def aggregated_positions(self) -> np.ndarray:
+        """Indices (into the dispatch order) whose updates join aggregation."""
+        return np.flatnonzero(self.aggregated)
+
+    def dropped_client_ids(self) -> np.ndarray:
+        """Clients whose update missed aggregation (dropout or deadline)."""
+        return self.client_ids[~self.aggregated]
+
+    @property
+    def bytes_down_total(self) -> int:
+        return int(self.bytes_down.sum())
+
+    @property
+    def bytes_up_total(self) -> int:
+        return int(self.bytes_up.sum())
+
+    def to_outcome(self) -> RoundOutcome:
+        """The row view back (small-N callers; Python scalars throughout)."""
+        clients = []
+        for i in range(len(self)):
+            finish = float(self.finish_seconds[i])
+            failure = float(self.failure_seconds[i])
+            clients.append(
+                ClientOutcome(
+                    client_id=int(self.client_ids[i]),
+                    bytes_down=int(self.bytes_down[i]),
+                    bytes_up=int(self.bytes_up[i]),
+                    finish_seconds=None if math.isnan(finish) else finish,
+                    dropped=bool(self.dropped[i]),
+                    aggregated=bool(self.aggregated[i]),
+                    compute_seconds=float(self.compute_seconds[i]),
+                    failure_seconds=None if math.isnan(failure) else failure,
+                )
+            )
+        return RoundOutcome(
+            round_index=self.round_index,
+            clients=clients,
+            deadline_seconds=self.deadline_seconds,
+            round_seconds=self.round_seconds,
+        )
+
+    @classmethod
+    def from_outcome(cls, outcome: RoundOutcome) -> "RoundOutcomeBatch":
+        """Column-ise a row-shaped outcome (legacy-engine batch calls)."""
+        nan = float("nan")
+        return cls(
+            round_index=outcome.round_index,
+            client_ids=np.array([c.client_id for c in outcome.clients], dtype=np.int64),
+            bytes_down=np.array([c.bytes_down for c in outcome.clients], dtype=np.int64),
+            bytes_up=np.array([c.bytes_up for c in outcome.clients], dtype=np.int64),
+            finish_seconds=np.array(
+                [nan if c.finish_seconds is None else c.finish_seconds for c in outcome.clients],
+                dtype=np.float64,
+            ),
+            dropped=np.array([c.dropped for c in outcome.clients], dtype=bool),
+            aggregated=np.array([c.aggregated for c in outcome.clients], dtype=bool),
+            compute_seconds=np.array([c.compute_seconds for c in outcome.clients], dtype=np.float64),
+            failure_seconds=np.array(
+                [nan if c.failure_seconds is None else c.failure_seconds for c in outcome.clients],
+                dtype=np.float64,
+            ),
+            deadline_seconds=outcome.deadline_seconds,
+            round_seconds=outcome.round_seconds,
+        )
+
+
+class _DeviceFleet(Sequence):
+    """Lazy ``Sequence[DeviceTemplate]`` over (template, count) runs.
+
+    Small-N callers index and iterate it like the historical
+    ``list[DeviceTemplate]``; large fleets never pay for N references.
+    """
+
+    __slots__ = ("templates", "counts", "_offsets", "_total")
+
+    def __init__(self, templates: Sequence[DeviceTemplate], counts: Sequence[int]):
+        self.templates = tuple(templates)
+        self.counts = tuple(int(count) for count in counts)
+        self._offsets = np.cumsum(np.asarray(self.counts, dtype=np.int64))
+        self._total = int(self._offsets[-1]) if self.counts else 0
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._total))]
+        i = int(index)
+        if i < 0:
+            i += self._total
+        if not 0 <= i < self._total:
+            raise IndexError(f"client_id {index} out of range for fleet of {self._total}")
+        return self.templates[int(np.searchsorted(self._offsets, i, side="right"))]
+
+    def __iter__(self) -> Iterator[DeviceTemplate]:
+        for template, count in zip(self.templates, self.counts):
+            for _ in range(count):
+                yield template
+
+
+@dataclass
+class _RoundDraws:
+    """Pre-drawn per-dispatch randomness, shared by both engines.
+
+    Both engines index these exact arrays — never re-drawing, never
+    re-applying ``exp`` — which is what makes the engines bit-identical
+    for a fixed draw mode.  ``drop_fraction`` is NaN-coded: NaN means the
+    client does not fail mid-round.
+    """
+
+    factor: np.ndarray
+    down_jitter: np.ndarray
+    up_jitter: np.ndarray
+    drop_fraction: np.ndarray
+
+
 class FleetSimulator:
     """Stateful scenario engine for one algorithm run (one fleet per run)."""
 
-    def __init__(self, spec: ScenarioSpec, num_clients: int, seed: int = 0):
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        num_clients: int,
+        seed: int = 0,
+        engine: str = "auto",
+        draw_mode: str = "auto",
+    ):
         if num_clients <= 0:
             raise ValueError("num_clients must be positive")
+        if engine not in {"auto", "vectorized", "legacy"}:
+            raise ValueError("engine must be 'auto', 'vectorized' or 'legacy'")
+        if draw_mode not in {"auto", "batched", "per-client"}:
+            raise ValueError("draw_mode must be 'auto', 'batched' or 'per-client'")
         self.spec = spec
         self.seed = int(seed)
-        self.devices: list[DeviceTemplate] = _expand_devices(spec.devices, num_clients)
+        counts = _expand_device_counts(spec.devices, num_clients)
+        self.devices = _DeviceFleet(spec.devices, counts)
         self.num_clients = len(self.devices)
+        self.engine = "vectorized" if engine == "auto" else engine
+        if draw_mode == "auto":
+            draw_mode = "batched" if self.num_clients >= BATCHED_DRAW_THRESHOLD else "per-client"
+        self.draw_mode = draw_mode
+
+        # struct-of-arrays device parameters: one float64 column per knob,
+        # repeated from the template runs — no per-device Python objects
+        reps = np.asarray(counts, dtype=np.int64)
+
+        def column(attr: str) -> np.ndarray:
+            values = np.array([getattr(t, attr) for t in spec.devices], dtype=np.float64)
+            return np.repeat(values, reps)
+
+        self._flops = column("flops_per_second")
+        self._bandwidth = column("bandwidth_mbps")
+        self._compute_jitter = column("compute_jitter")
+        self._link_latency = column("link_latency_s")
+        self._link_jitter = column("link_jitter_s")
+
         self._avail_cache: dict[int, np.ndarray] = {}
         self._diurnal_offsets: np.ndarray | None = None
+        self._draw_cache: dict[int, object] = {}
+        self._draw_cache_round = -1
         self._last_simulated_round = -1
         battery = spec.battery
         self._charge = (
@@ -141,7 +408,7 @@ class FleetSimulator:
             if battery is not None
             else None
         )
-        self._recovering: set[int] = set()
+        self._recovering_mask = np.zeros(self.num_clients, dtype=bool)
 
     # -- profiles ---------------------------------------------------------------------
     def build_profiles(self) -> list[DeviceProfile]:
@@ -150,16 +417,22 @@ class FleetSimulator:
         Deterministic, in fleet order — the same mapping the legacy
         test-bed produces with an identity permutation.
         """
-        top_speed = max(device.flops_per_second for device in self.devices)
-        profiles = []
-        for client_id, device in enumerate(self.devices):
+        populated = [
+            template
+            for template, count in zip(self.devices.templates, self.devices.counts)
+            if count > 0
+        ]
+        top_speed = max(template.flops_per_second for template in populated)
+        profiles: list[DeviceProfile] = []
+        for template, count in zip(self.devices.templates, self.devices.counts):
             device_class = DeviceClass(
-                name=device.device_class,
-                capacity_fraction=CAPACITY_FRACTIONS[device.device_class],
-                compute_speed=device.flops_per_second / top_speed,
-                memory_gb=device.memory_gb,
+                name=template.device_class,
+                capacity_fraction=CAPACITY_FRACTIONS[template.device_class],
+                compute_speed=template.flops_per_second / top_speed,
+                memory_gb=template.memory_gb,
             )
-            profiles.append(DeviceProfile(client_id=client_id, device_class=device_class))
+            for _ in range(count):
+                profiles.append(DeviceProfile(client_id=len(profiles), device_class=device_class))
         return profiles
 
     def device_for(self, client_id: int) -> DeviceTemplate:
@@ -167,54 +440,179 @@ class FleetSimulator:
 
     # -- randomness -------------------------------------------------------------------
     def _rng(self, tag: int, round_index: int, client_id: int) -> np.random.Generator:
+        """Per-client generator: the historical (seed, tag, round, client) key."""
         return np.random.default_rng(
             np.random.SeedSequence((self.seed, _SIM_TAG, tag, round_index, client_id))
         )
 
+    def _round_rng(self, tag: int, round_index: int) -> np.random.Generator:
+        """Batched generator: one (seed, tag, round) key drives a whole vector.
+
+        The 4-tuple entropy key can never collide with the per-client
+        5-tuples — ``SeedSequence`` folds tuple length into the entropy.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence((self.seed, _SIM_TAG, tag, round_index))
+        )
+
+    def _population_draws(self, tag: int, round_index: int):
+        """Full-population draw vectors for one (tag, round), cached per round.
+
+        Batched mode only.  Drawing the whole population (rather than the
+        dispatched subset) keeps every client's round-``r`` draw a pure
+        function of ``(seed, tag, r, client)`` — independent of which
+        clients were dispatched — exactly like per-client mode.
+        """
+        if round_index != self._draw_cache_round:
+            self._draw_cache = {}
+            self._draw_cache_round = round_index
+        cached = self._draw_cache.get(tag)
+        if cached is None:
+            rng = self._round_rng(tag, round_index)
+            if tag == _COMPUTE:
+                cached = rng.standard_normal(self.num_clients)
+            elif tag in (_LINK_DOWN, _LINK_UP):
+                cached = rng.exponential(size=self.num_clients)
+            elif tag == _DROPOUT:
+                cached = (rng.random(self.num_clients), rng.random(self.num_clients))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown draw tag {tag}")
+            self._draw_cache[tag] = cached
+        return cached
+
+    def _dispatch_draws(self, round_index: int, client_ids: Sequence[int]) -> _RoundDraws:
+        """All per-dispatch randomness for one round, drawn up-front.
+
+        The event interleaving can never change what was drawn; both
+        engines consume these arrays verbatim.
+        """
+        n = len(client_ids)
+        if self.draw_mode == "batched":
+            ids = np.asarray(client_ids, dtype=np.int64)
+            jitter = self._compute_jitter[ids]
+            normals = self._population_draws(_COMPUTE, round_index)[ids]
+            factor = np.where(jitter > 0, np.exp(jitter * normals), 1.0)
+            link_jitter = self._link_jitter[ids]
+            down_jitter = link_jitter * self._population_draws(_LINK_DOWN, round_index)[ids]
+            up_jitter = link_jitter * self._population_draws(_LINK_UP, round_index)[ids]
+            if self.spec.dropout_rate > 0:
+                trigger, fraction = self._population_draws(_DROPOUT, round_index)
+                drop_fraction = np.where(
+                    trigger[ids] < self.spec.dropout_rate, fraction[ids], np.nan
+                )
+            else:
+                drop_fraction = np.full(n, np.nan)
+            return _RoundDraws(factor, down_jitter, up_jitter, drop_fraction)
+
+        # per-client mode: the historical draw discipline, value-for-value
+        factor = np.ones(n, dtype=np.float64)
+        down_jitter = np.zeros(n, dtype=np.float64)
+        up_jitter = np.zeros(n, dtype=np.float64)
+        drop_fraction = np.full(n, np.nan)
+        for i, raw_id in enumerate(client_ids):
+            client_id = int(raw_id)
+            jitter = float(self._compute_jitter[client_id])
+            if jitter > 0:
+                factor[i] = float(
+                    np.exp(jitter * self._rng(_COMPUTE, round_index, client_id).standard_normal())
+                )
+            link_jitter = float(self._link_jitter[client_id])
+            if link_jitter > 0:
+                down_jitter[i] = float(
+                    link_jitter * self._rng(_LINK_DOWN, round_index, client_id).exponential()
+                )
+                up_jitter[i] = float(
+                    link_jitter * self._rng(_LINK_UP, round_index, client_id).exponential()
+                )
+            if self.spec.dropout_rate > 0:
+                dropout_rng = self._rng(_DROPOUT, round_index, client_id)
+                if float(dropout_rng.random()) < self.spec.dropout_rate:
+                    drop_fraction[i] = float(dropout_rng.random())
+        return _RoundDraws(factor, down_jitter, up_jitter, drop_fraction)
+
     # -- availability -----------------------------------------------------------------
+    def _availability_uniforms(self, round_index: int) -> np.ndarray:
+        """One uniform per client for round ``round_index`` (mode-dependent)."""
+        if self.draw_mode == "batched":
+            return self._round_rng(_AVAILABILITY, round_index).random(self.num_clients)
+        return np.array(
+            [
+                float(self._rng(_AVAILABILITY, round_index, client_id).random())
+                for client_id in range(self.num_clients)
+            ],
+            dtype=np.float64,
+        )
+
+    def _phase_offsets(self, period: int) -> np.ndarray:
+        """Per-client diurnal phase: a pure function of (seed, client), drawn once."""
+        if self._diurnal_offsets is None:
+            if self.draw_mode == "batched":
+                self._diurnal_offsets = self._round_rng(_PHASE, 0).integers(
+                    0, period, size=self.num_clients
+                )
+            else:
+                self._diurnal_offsets = np.array(
+                    [
+                        int(self._rng(_PHASE, 0, client_id).integers(0, period))
+                        for client_id in range(self.num_clients)
+                    ]
+                )
+        return self._diurnal_offsets
+
     def _trace_availability(self, round_index: int) -> np.ndarray:
         """The scenario's raw on/off trace (before battery overlay)."""
         spec = self.spec.availability
         if spec.kind == "always":
             return np.ones(self.num_clients, dtype=bool)
         if spec.kind == "diurnal":
-            if self._diurnal_offsets is None:
-                # per-client phase: a pure function of (seed, client), drawn once
-                self._diurnal_offsets = np.array(
-                    [
-                        int(self._rng(_PHASE, 0, client_id).integers(0, spec.period_rounds))
-                        for client_id in range(self.num_clients)
-                    ]
-                )
+            offsets = self._phase_offsets(spec.period_rounds)
             on_rounds = max(1, int(np.ceil(spec.on_fraction * spec.period_rounds)))
-            return (round_index + self._diurnal_offsets) % spec.period_rounds < on_rounds
+            return (round_index + offsets) % spec.period_rounds < on_rounds
         return self._markov_state(round_index)
 
     def _markov_state(self, round_index: int) -> np.ndarray:
+        """The Markov on/off state at ``round_index``, walked from the cache.
+
+        The cache keeps only round 0 and the most recently computed round:
+        sequential access is O(1) amortised, out-of-order queries replay
+        from the nearest earlier anchor — the walk is a pure function of
+        the uniforms, so replays are bit-identical.
+        """
         spec = self.spec.availability
-        if round_index in self._avail_cache:
-            return self._avail_cache[round_index]
+        cached = self._avail_cache.get(round_index)
+        if cached is not None:
+            return cached
         start = max((r for r in self._avail_cache if r < round_index), default=-1)
         if start == -1:
             denominator = spec.p_drop + spec.p_join
             stationary_on = 1.0 if denominator == 0 else spec.p_join / denominator
-            state = np.array(
-                [
-                    float(self._rng(_AVAILABILITY, 0, c).random()) < stationary_on
-                    for c in range(self.num_clients)
-                ],
-                dtype=bool,
-            )
+            state = self._availability_uniforms(0) < stationary_on
             self._avail_cache[0] = state
             start = 0
         state = self._avail_cache[start]
         for r in range(start + 1, round_index + 1):
-            draws = np.array(
-                [float(self._rng(_AVAILABILITY, r, c).random()) for c in range(self.num_clients)]
-            )
+            draws = self._availability_uniforms(r)
             state = np.where(state, draws >= spec.p_drop, draws < spec.p_join)
-            self._avail_cache[r] = state
-        return self._avail_cache[round_index]
+        self._avail_cache[round_index] = state
+        for r in list(self._avail_cache):
+            if r not in (0, round_index):
+                del self._avail_cache[r]
+        return state
+
+    def available_mask(self, round_index: int) -> np.ndarray:
+        """Boolean reachability mask when round ``round_index`` starts.
+
+        The scale-path twin of :meth:`available_clients`: same semantics
+        (battery-recovering clients sit out; empty overlays are lifted),
+        O(N) vector work, no Python-object materialisation.
+        """
+        trace = self._trace_availability(round_index)
+        online = trace & ~self._recovering_mask
+        if online.any():
+            return online
+        if trace.any():
+            return trace.copy()
+        return np.ones(self.num_clients, dtype=bool)
 
     def available_clients(self, round_index: int) -> list[int]:
         """Clients the server can reach when round ``round_index`` starts.
@@ -224,14 +622,43 @@ class FleetSimulator:
         battery overlay is lifted, then — if the raw trace itself is empty
         — every client is considered reachable again.
         """
-        trace = self._trace_availability(round_index)
-        online = [c for c in range(self.num_clients) if trace[c] and c not in self._recovering]
-        if online:
-            return online
-        online = [c for c in range(self.num_clients) if trace[c]]
-        return online if online else list(range(self.num_clients))
+        return np.flatnonzero(self.available_mask(round_index)).tolist()
+
+    # -- population telemetry ---------------------------------------------------------
+    def population_stats(self, round_index: int) -> dict[str, int]:
+        """Fleet-level counts for operational metrics (gauges, not history).
+
+        ``online`` counts clients reachable at ``round_index`` (after the
+        battery overlay and fallback lifting), ``recovering`` counts
+        clients sitting out to recharge, ``battery_dead`` counts clients
+        at exactly zero charge.
+        """
+        dead = 0 if self._charge is None else int((self._charge <= 0.0).sum())
+        return {
+            "online": int(self.available_mask(round_index).sum()),
+            "recovering": int(self._recovering_mask.sum()),
+            "battery_dead": dead,
+        }
 
     # -- checkpointing ----------------------------------------------------------------
+    @property
+    def _recovering(self) -> set[int]:
+        """The battery-recovering clients as a set (small-N façade).
+
+        Internally the fleet keeps a boolean mask; the set view exists for
+        checkpoints and tests.  Mutate via the setter (assignment), not by
+        ``.add``/``.discard`` on the returned copy.
+        """
+        return {int(client) for client in np.flatnonzero(self._recovering_mask)}
+
+    @_recovering.setter
+    def _recovering(self, value) -> None:
+        mask = np.zeros(self.num_clients, dtype=bool)
+        ids = np.asarray(sorted(int(client) for client in value), dtype=np.int64)
+        if ids.size:
+            mask[ids] = True
+        self._recovering_mask = mask
+
     def state_dict(self) -> dict:
         """The fleet's mutable cross-round state, for the experiment store.
 
@@ -277,12 +704,7 @@ class FleetSimulator:
         return float(self._charge[client_id])
 
     # -- round simulation -------------------------------------------------------------
-    def simulate_round(self, round_index: int, dispatches: list[ClientDispatch]) -> RoundOutcome:
-        """Simulate one synchronous round; mutates battery/availability state.
-
-        Must be called once per round, in increasing round order (the
-        federated loop does exactly that).
-        """
+    def _check_monotonic(self, round_index: int) -> None:
         if round_index <= self._last_simulated_round:
             raise ValueError(
                 f"round {round_index} already simulated (last was {self._last_simulated_round}); "
@@ -290,14 +712,46 @@ class FleetSimulator:
             )
         self._last_simulated_round = round_index
 
+    def simulate_round(self, round_index: int, dispatches: list[ClientDispatch]) -> RoundOutcome:
+        """Simulate one synchronous round; mutates battery/availability state.
+
+        Must be called once per round, in increasing round order (the
+        federated loop does exactly that).
+        """
+        self._check_monotonic(round_index)
         if self.spec.is_static:
-            outcome = self._simulate_static(round_index, dispatches)
-        else:
-            outcome = self._simulate_events(round_index, dispatches)
+            return self._simulate_static(round_index, dispatches)
+        draws = self._dispatch_draws(round_index, [d.client_id for d in dispatches])
+        if self.engine == "legacy":
+            outcome = self._simulate_events(round_index, dispatches, draws)
             self._apply_battery_deaths(outcome, dispatches)
             self._apply_deadline(outcome)
             self._advance_batteries(outcome, dispatches)
-        return outcome
+            return outcome
+        batch = DispatchBatch.from_dispatches(dispatches)
+        return self._simulate_batch(round_index, batch, draws).to_outcome()
+
+    def simulate_round_batch(self, round_index: int, batch: DispatchBatch) -> RoundOutcomeBatch:
+        """Array-native :meth:`simulate_round` (the million-device entry point).
+
+        Same semantics, same determinism, same monotonic-round contract;
+        the outcome stays columnar so the caller never pays for
+        per-client Python objects.
+        """
+        self._check_monotonic(round_index)
+        if self.spec.is_static:
+            return RoundOutcomeBatch.from_outcome(
+                self._simulate_static(round_index, batch.to_dispatches())
+            )
+        draws = self._dispatch_draws(round_index, batch.client_ids)
+        if self.engine == "legacy":
+            dispatches = batch.to_dispatches()
+            outcome = self._simulate_events(round_index, dispatches, draws)
+            self._apply_battery_deaths(outcome, dispatches)
+            self._apply_deadline(outcome)
+            self._advance_batteries(outcome, dispatches)
+            return RoundOutcomeBatch.from_outcome(outcome)
+        return self._simulate_batch(round_index, batch, draws)
 
     def _closed_form_seconds(self, dispatch: ClientDispatch) -> tuple[float, float]:
         """The legacy test-bed's (communication, training) clock, shared code."""
@@ -333,36 +787,141 @@ class FleetSimulator:
             round_index=round_index, clients=clients, deadline_seconds=None, round_seconds=round_seconds
         )
 
-    def _simulate_events(self, round_index: int, dispatches: list[ClientDispatch]) -> RoundOutcome:
+    # -- vectorized engine ------------------------------------------------------------
+    def _simulate_batch(
+        self, round_index: int, batch: DispatchBatch, draws: _RoundDraws
+    ) -> RoundOutcomeBatch:
+        """One dynamic round as pure array arithmetic.
+
+        Every expression mirrors the legacy engine's float64 operation
+        order exactly (same associativity, same pre-drawn values), which
+        is what the bit-parity suite pins.
+        """
+        ids = batch.client_ids
+        latency = self._link_latency[ids]
+        bandwidth = self._bandwidth[ids]
+        flops = self._flops[ids]
+
+        bytes_down = batch.params_down * BYTES_PER_PARAM
+        download = latency + draws.down_jitter + batch.params_down * BYTES_PER_PARAM * 8 / (
+            bandwidth * 1e6
+        )
+        upload = latency + draws.up_jitter + batch.params_up * BYTES_PER_PARAM * 8 / (
+            bandwidth * 1e6
+        )
+        total_flops = (
+            TRAIN_FLOP_MULTIPLIER * batch.flops_per_sample * batch.num_samples * batch.local_epochs
+        )
+        compute = total_flops / (flops * draws.factor)
+        dropped = ~np.isnan(draws.drop_fraction)
+
+        if self.spec.network.server_concurrency is None:
+            # uncontended: the event decomposition degenerates to
+            # download → compute → upload back-to-back, in closed form
+            compute_seconds = np.where(dropped, draws.drop_fraction * compute, compute)
+            finish_seconds = np.where(dropped, np.nan, download + compute + upload)
+            failure_seconds = np.where(dropped, download + compute_seconds, np.nan)
+            bytes_up = np.where(dropped, 0, batch.params_up * BYTES_PER_PARAM)
+        else:
+            # gated: replay the exact FIFO event interleaving on the
+            # dispatched subset (O(dispatched), never O(fleet))
+            outcome = self._simulate_events(round_index, batch.to_dispatches(), draws)
+            nan = float("nan")
+            finish_seconds = np.array(
+                [nan if c.finish_seconds is None else c.finish_seconds for c in outcome.clients],
+                dtype=np.float64,
+            )
+            failure_seconds = np.array(
+                [nan if c.failure_seconds is None else c.failure_seconds for c in outcome.clients],
+                dtype=np.float64,
+            )
+            compute_seconds = np.array(
+                [c.compute_seconds for c in outcome.clients], dtype=np.float64
+            )
+            bytes_up = np.array([c.bytes_up for c in outcome.clients], dtype=np.int64)
+            dropped = np.array([c.dropped for c in outcome.clients], dtype=bool)
+
+        battery = self.spec.battery
+        if battery is not None:
+            # clients whose charge cannot cover the round die mid-round
+            needed = battery.compute_watts * compute_seconds + battery.transfer_joules_per_mb * (
+                (bytes_down + bytes_up) / 1e6
+            )
+            dead = needed > self._charge[ids]
+            # went silent no later than it would have finished/failed
+            failure_seconds = np.where(
+                dead & np.isnan(failure_seconds), finish_seconds, failure_seconds
+            )
+            finish_seconds = np.where(dead, np.nan, finish_seconds)
+            bytes_up = np.where(dead, 0, bytes_up)
+            dropped = dropped | dead
+
+        # deadline, aggregated flags, round duration
+        returned = ~np.isnan(finish_seconds)
+        finishes = finish_seconds[returned]
+        deadline = self.spec.deadline_seconds
+        if deadline is None and self.spec.deadline_factor is not None and finishes.size:
+            deadline = float(self.spec.deadline_factor * np.median(finishes))
+        if deadline is None:
+            aggregated = returned
+        else:
+            aggregated = returned & (finish_seconds <= deadline)
+        any_missing = bool((~aggregated).any())
+        failures = failure_seconds[~np.isnan(failure_seconds)]
+        if deadline is not None and (any_missing or not finishes.size):
+            round_seconds = float(deadline)  # the server waits out the deadline
+        else:
+            horizon = np.concatenate([finishes, failures])
+            round_seconds = float(horizon.max()) if horizon.size else 0.0
+
+        if battery is not None:
+            spent = battery.compute_watts * compute_seconds + battery.transfer_joules_per_mb * (
+                (bytes_down + bytes_up) / 1e6
+            )
+            current = self._charge[ids]
+            self._charge[ids] = np.maximum(0.0, current - np.minimum(spent, current))
+            idle = np.ones(self.num_clients, dtype=bool)
+            idle[ids] = False
+            self._charge[idle] = np.minimum(
+                battery.capacity_joules,
+                self._charge[idle] + battery.recharge_watts * round_seconds,
+            )
+            low = battery.min_charge_fraction * battery.capacity_joules
+            resume = battery.resume_charge_fraction * battery.capacity_joules
+            below = self._charge < low
+            self._recovering_mask = below | (self._recovering_mask & ~(self._charge >= resume))
+
+        return RoundOutcomeBatch(
+            round_index=round_index,
+            client_ids=ids,
+            bytes_down=bytes_down,
+            bytes_up=np.asarray(bytes_up, dtype=np.int64),
+            finish_seconds=finish_seconds,
+            dropped=dropped,
+            aggregated=aggregated,
+            compute_seconds=compute_seconds,
+            failure_seconds=failure_seconds,
+            deadline_seconds=deadline,
+            round_seconds=round_seconds,
+        )
+
+    # -- legacy engine ----------------------------------------------------------------
+    def _simulate_events(
+        self, round_index: int, dispatches: list[ClientDispatch], draws: _RoundDraws
+    ) -> RoundOutcome:
         queue = EventQueue()
         gate = TransferGate(self.spec.network.server_concurrency)
 
         plans = []
-        for dispatch in dispatches:
+        for i, dispatch in enumerate(dispatches):
             device = self.devices[dispatch.client_id]
-            # all randomness is drawn up-front, keyed on (round, client):
+            # all randomness was drawn up-front, keyed on (round, client):
             # the event interleaving can never change what was drawn
-            compute_rng = self._rng(_COMPUTE, round_index, dispatch.client_id)
-            factor = (
-                float(np.exp(device.compute_jitter * compute_rng.standard_normal()))
-                if device.compute_jitter > 0
-                else 1.0
-            )
-            down_jitter = (
-                float(device.link_jitter_s * self._rng(_LINK_DOWN, round_index, dispatch.client_id).exponential())
-                if device.link_jitter_s > 0
-                else 0.0
-            )
-            up_jitter = (
-                float(device.link_jitter_s * self._rng(_LINK_UP, round_index, dispatch.client_id).exponential())
-                if device.link_jitter_s > 0
-                else 0.0
-            )
-            drop_fraction = None
-            if self.spec.dropout_rate > 0:
-                dropout_rng = self._rng(_DROPOUT, round_index, dispatch.client_id)
-                if float(dropout_rng.random()) < self.spec.dropout_rate:
-                    drop_fraction = float(dropout_rng.random())
+            factor = float(draws.factor[i])
+            down_jitter = float(draws.down_jitter[i])
+            up_jitter = float(draws.up_jitter[i])
+            raw_fraction = float(draws.drop_fraction[i])
+            drop_fraction = None if math.isnan(raw_fraction) else raw_fraction
             total_flops = (
                 TRAIN_FLOP_MULTIPLIER
                 * dispatch.flops_per_sample
@@ -502,35 +1061,53 @@ class FleetSimulator:
                 )
         low = battery.min_charge_fraction * battery.capacity_joules
         resume = battery.resume_charge_fraction * battery.capacity_joules
-        for client_id in range(self.num_clients):
-            if self._charge[client_id] < low:
-                self._recovering.add(client_id)
-            elif client_id in self._recovering and self._charge[client_id] >= resume:
-                self._recovering.discard(client_id)
+        below = self._charge < low
+        self._recovering_mask = below | (self._recovering_mask & ~(self._charge >= resume))
 
 
-def _expand_devices(templates: tuple[DeviceTemplate, ...], num_clients: int) -> list[DeviceTemplate]:
-    """One template per client: fixed counts verbatim when they match the
-    requested fleet size, largest-remainder proportions otherwise."""
+def _expand_device_counts(templates: tuple[DeviceTemplate, ...], num_clients: int) -> list[int]:
+    """Per-template client counts summing exactly to ``num_clients``.
+
+    Fixed counts are kept verbatim when they match the requested fleet
+    size; otherwise deterministic largest-remainder rounding distributes
+    the population proportionally.  Ties break on (descending remainder,
+    ascending template index), so the split is reproducible, and the
+    result always sums exactly to ``num_clients`` — including at large N
+    where naive float rounding drifts.
+    """
     if templates[0].count is not None:
-        total = sum(template.count for template in templates)
+        counts = [int(template.count) for template in templates]
+        total = sum(counts)
         if total == num_clients:
-            expanded: list[DeviceTemplate] = []
-            for template in templates:
-                expanded.extend([template] * template.count)
-            return expanded
-        weights = [template.count / total for template in templates]
+            return counts
+        weights = [count / total for count in counts]
     else:
         total_fraction = sum(template.fraction for template in templates)
         weights = [template.fraction / total_fraction for template in templates]
 
     exact = [weight * num_clients for weight in weights]
-    counts = [int(np.floor(value)) for value in exact]
+    counts = [min(int(math.floor(value)), num_clients) for value in exact]
     remainder = num_clients - sum(counts)
-    by_fraction = sorted(range(len(templates)), key=lambda i: exact[i] - counts[i], reverse=True)
-    for i in by_fraction[:remainder]:
-        counts[i] += 1
-    expanded = []
-    for template, count in zip(templates, counts):
-        expanded.extend([template] * count)
-    return expanded
+    order = sorted(range(len(templates)), key=lambda i: (-(exact[i] - counts[i]), i))
+    if remainder < 0:  # pathological float rounding: trim smallest remainders first
+        for i in reversed(order):
+            if remainder == 0:
+                break
+            if counts[i] > 0:
+                counts[i] -= 1
+                remainder += 1
+    position = 0
+    while remainder > 0:  # one extra client per largest remainder, round-robin if needed
+        counts[order[position % len(order)]] += 1
+        remainder -= 1
+        position += 1
+    return counts
+
+
+def _expand_devices(templates: tuple[DeviceTemplate, ...], num_clients: int) -> list[DeviceTemplate]:
+    """One template per client (small-N compatibility wrapper).
+
+    The counts come from :func:`_expand_device_counts`; large fleets
+    should use the counts directly instead of materialising N references.
+    """
+    return list(_DeviceFleet(templates, _expand_device_counts(templates, num_clients)))

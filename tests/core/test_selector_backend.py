@@ -1,0 +1,96 @@
+"""AdaptiveFL's selector backend knob (dense vs streaming RL tables)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveFLConfig
+from repro.core.rl_selection import RLClientSelector, StreamingRLClientSelector
+from repro.core.server import AdaptiveFL
+from repro.sim.cohorts import STREAMING_SELECTION_THRESHOLD
+
+
+def make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="auto", seed=0):
+    config = AdaptiveFLConfig(
+        federated=fast_configs["federated"],
+        local=fast_configs["local"],
+        pool=fast_configs["pool"],
+        selector_backend=backend,
+    )
+    setup = tiny_federated_setup
+    return AdaptiveFL(
+        architecture=tiny_cnn,
+        train_dataset=setup["train"],
+        partition=setup["partition"],
+        test_dataset=setup["test"],
+        profiles=setup["profiles"],
+        resource_model=setup["resource_model"],
+        algorithm_config=config,
+        seed=seed,
+    )
+
+
+class TestBackendResolution:
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError, match="selector_backend"):
+            AdaptiveFLConfig(selector_backend="gpu")
+
+    def test_backend_round_trips_through_config_dict(self):
+        config = AdaptiveFLConfig(selector_backend="streaming")
+        assert AdaptiveFLConfig.from_dict(config.to_dict()) == config
+
+    def test_auto_picks_dense_below_threshold(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="auto")
+        assert algorithm.num_clients < STREAMING_SELECTION_THRESHOLD
+        assert algorithm.selector_backend == "dense"
+        assert isinstance(algorithm.selector, RLClientSelector)
+
+    def test_explicit_streaming_builds_streaming_selector(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="streaming")
+        assert algorithm.selector_backend == "streaming"
+        assert isinstance(algorithm.selector, StreamingRLClientSelector)
+
+
+class TestStreamingRuns:
+    def test_streaming_backend_runs_and_is_deterministic(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        first = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="streaming")
+        second = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="streaming")
+        history_a = first.run()
+        history_b = second.run()
+        assert history_a.to_dict() == history_b.to_dict()
+        for name in first.global_state:
+            assert np.array_equal(first.global_state[name], second.global_state[name]), name
+
+    def test_streaming_touches_only_selected_clients(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="streaming")
+        record = algorithm.run_round(0)
+        assert algorithm.selector.num_touched == len(set(record.selected_clients))
+
+
+class TestCheckpointFormats:
+    def collect(self, algorithm):
+        arrays: dict[str, np.ndarray] = {}
+        algorithm._collect_extra_state(arrays, {})
+        return arrays
+
+    def test_streaming_state_round_trips(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        source = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="streaming")
+        source.run_round(0)
+        arrays = self.collect(source)
+        assert set(arrays) == {"rl/client_ids", "rl/curiosity_columns", "rl/resource_columns"}
+
+        target = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="streaming")
+        target._apply_extra_state(arrays, {})
+        for name, table in source.selector.snapshot().items():
+            assert np.array_equal(table, target.selector.snapshot()[name]), name
+
+    def test_dense_state_keys_unchanged(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        algorithm = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="dense")
+        assert set(self.collect(algorithm)) == {"rl/curiosity_table", "rl/resource_table"}
+
+    def test_backend_mismatch_fails_loudly(self, tiny_cnn, tiny_federated_setup, fast_configs):
+        dense = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="dense")
+        streaming = make_adaptivefl(tiny_cnn, tiny_federated_setup, fast_configs, backend="streaming")
+        with pytest.raises(ValueError, match="selector_backend"):
+            streaming._apply_extra_state(self.collect(dense), {})
+        with pytest.raises(ValueError, match="selector_backend"):
+            dense._apply_extra_state(self.collect(streaming), {})

@@ -1,0 +1,110 @@
+"""Memory-bounded streaming aggregation (begin_round / add / finalize).
+
+The streaming API must be **bit-identical** to the historical one-shot
+``aggregate`` — per (name, element) the accumulation order over uploads
+equals the call order either way — while never holding more than one
+decoded upload plus the reused buffers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import ClientUpdate, HeterogeneousAggregator, aggregate_heterogeneous
+
+
+def make_updates(rng, count=5, full=(6, 4)):
+    updates = []
+    for i in range(count):
+        rows = int(rng.integers(2, full[0] + 1))
+        cols = int(rng.integers(1, full[1] + 1))
+        state = {
+            "w": rng.normal(size=(rows, cols)),
+            "b": rng.normal(size=(rows,)),
+        }
+        updates.append(ClientUpdate(state, num_samples=int(rng.integers(1, 100))))
+    return updates
+
+
+@pytest.fixture
+def global_state():
+    rng = np.random.default_rng(0)
+    return {"w": rng.normal(size=(6, 4)), "b": rng.normal(size=(6,))}
+
+
+class TestStreamingBitParity:
+    def test_begin_add_finalize_equals_one_shot(self, global_state):
+        updates = make_updates(np.random.default_rng(1))
+        one_shot = aggregate_heterogeneous(global_state, updates)
+
+        aggregator = HeterogeneousAggregator()
+        aggregator.begin_round(global_state)
+        for update in updates:
+            aggregator.add(update)
+        streamed = aggregator.finalize()
+        for name in one_shot:
+            assert np.array_equal(one_shot[name], streamed[name]), name
+
+    def test_generator_input_equals_list_input(self, global_state):
+        updates = make_updates(np.random.default_rng(2))
+        aggregator = HeterogeneousAggregator()
+        from_list = aggregator.aggregate(global_state, updates)
+        from_generator = aggregator.aggregate(global_state, (u for u in updates))
+        for name in from_list:
+            assert np.array_equal(from_list[name], from_generator[name]), name
+
+    def test_buffers_are_reused_across_rounds(self, global_state):
+        aggregator = HeterogeneousAggregator()
+        first = aggregator.aggregate(global_state, make_updates(np.random.default_rng(3)))
+        buffers_after_first = {name: id(aggregator._buffers[name][0]) for name in aggregator._buffers}
+        second = aggregator.aggregate(first, make_updates(np.random.default_rng(4)))
+        assert {name: id(aggregator._buffers[name][0]) for name in aggregator._buffers} == buffers_after_first
+        # and the reuse did not leak round 1 mass into round 2
+        fresh = HeterogeneousAggregator().aggregate(first, make_updates(np.random.default_rng(4)))
+        for name in second:
+            assert np.array_equal(second[name], fresh[name]), name
+
+    def test_zero_upload_round_returns_copy_of_old_state(self, global_state):
+        aggregator = HeterogeneousAggregator()
+        aggregator.begin_round(global_state)
+        merged = aggregator.finalize()
+        for name, value in global_state.items():
+            assert np.array_equal(merged[name], value)
+            assert merged[name] is not value
+
+
+class TestRoundLifecycle:
+    def test_double_begin_rejected(self, global_state):
+        aggregator = HeterogeneousAggregator()
+        aggregator.begin_round(global_state)
+        with pytest.raises(RuntimeError, match="already open"):
+            aggregator.begin_round(global_state)
+
+    def test_add_and_finalize_require_open_round(self, global_state):
+        aggregator = HeterogeneousAggregator()
+        with pytest.raises(RuntimeError, match="no open round"):
+            aggregator.add(ClientUpdate({"w": np.ones((2, 2))}, 1))
+        with pytest.raises(RuntimeError, match="no open round"):
+            aggregator.finalize()
+
+    def test_abort_clears_the_open_round(self, global_state):
+        aggregator = HeterogeneousAggregator()
+        aggregator.begin_round(global_state)
+        aggregator.abort_round()
+        with pytest.raises(RuntimeError, match="no open round"):
+            aggregator.finalize()
+        aggregator.begin_round(global_state)  # reusable after abort
+        aggregator.finalize()
+
+    def test_failing_generator_aborts_the_round(self, global_state):
+        aggregator = HeterogeneousAggregator()
+
+        def exploding():
+            yield ClientUpdate({"w": np.ones((2, 2)), "b": np.ones(2)}, 1)
+            raise RuntimeError("decode failed")
+
+        with pytest.raises(RuntimeError, match="decode failed"):
+            aggregator.aggregate(global_state, exploding())
+        # the aborted round left no half-open state behind
+        result = aggregator.aggregate(global_state, [])
+        for name, value in global_state.items():
+            assert np.array_equal(result[name], value)

@@ -1,0 +1,196 @@
+"""StreamingRLClientSelector: sparse O(selected) RL tables at fleet scale.
+
+Pins the equivalences the class guarantees:
+
+* reward math is operation-for-operation the dense selector's — after an
+  identical update history every reward, probability vector and
+  list-based ``select()`` draw is **bit-identical**,
+* ``select_from_mask`` samples the identical distribution without ever
+  materialising the population (memory stays O(selected)),
+* checkpoints hold the touched columns only and round-trip bit-exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rl_selection import RLClientSelector, StreamingRLClientSelector
+
+NUM_CLIENTS = 40
+
+
+@pytest.fixture
+def pair(tiny_pool):
+    """A dense and a streaming selector fed the same update history."""
+    dense = RLClientSelector(tiny_pool, num_clients=NUM_CLIENTS, strategy="rl-cs")
+    streaming = StreamingRLClientSelector(tiny_pool, num_clients=NUM_CLIENTS, strategy="rl-cs")
+    rng = np.random.default_rng(7)
+    configs = list(tiny_pool)
+    for _ in range(60):
+        sent = configs[int(rng.integers(0, len(configs)))]
+        candidates = [cfg for cfg in configs if cfg.num_params <= sent.num_params]
+        returned = candidates[int(rng.integers(0, len(candidates)))]
+        client = int(rng.integers(0, NUM_CLIENTS // 2))  # touch only half the fleet
+        dense.update(sent, returned, client)
+        streaming.update(sent, returned, client)
+    return dense, streaming
+
+
+class TestDenseEquivalence:
+    def test_snapshot_tables_identical(self, pair):
+        dense, streaming = pair
+        dense_tables = dense.snapshot()
+        streaming_tables = streaming.snapshot()
+        assert np.array_equal(dense_tables["curiosity"], streaming_tables["curiosity"])
+        assert np.array_equal(dense_tables["resource"], streaming_tables["resource"])
+
+    def test_rewards_bit_identical(self, pair, tiny_pool):
+        dense, streaming = pair
+        for model in tiny_pool:
+            for client in range(NUM_CLIENTS):
+                assert dense.combined_reward(model, client) == streaming.combined_reward(model, client)
+                assert dense.resource_reward(model, client) == streaming.resource_reward(model, client)
+                assert dense.curiosity_reward(model, client) == streaming.curiosity_reward(model, client)
+
+    def test_selection_probabilities_bit_identical(self, pair, tiny_pool):
+        dense, streaming = pair
+        allowed = list(range(0, NUM_CLIENTS, 3))
+        for model in tiny_pool:
+            assert np.array_equal(
+                dense.selection_probabilities(model, allowed),
+                streaming.selection_probabilities(model, allowed),
+            )
+
+    def test_list_select_is_a_bit_identical_drop_in(self, pair, tiny_pool):
+        dense, streaming = pair
+        model = tiny_pool.full_config
+        excluded: set[int] = set()
+        for seed in range(20):
+            a = dense.select(model, np.random.default_rng(seed), excluded=set(excluded))
+            b = streaming.select(model, np.random.default_rng(seed), excluded=set(excluded))
+            assert a == b
+            excluded.add(a)
+
+    @pytest.mark.parametrize("strategy", ["rl-cs", "rl-c", "rl-s", "random"])
+    def test_all_strategies_match_dense(self, tiny_pool, strategy):
+        dense = RLClientSelector(tiny_pool, num_clients=12, strategy=strategy)
+        streaming = StreamingRLClientSelector(tiny_pool, num_clients=12, strategy=strategy)
+        full = tiny_pool.full_config
+        small = tiny_pool.level_heads()["S"]
+        for client in (0, 3, 3, 7):
+            dense.update(full, small, client)
+            streaming.update(full, small, client)
+        for model in tiny_pool:
+            probabilities = streaming.selection_probabilities(model, list(range(12)))
+            assert np.array_equal(dense.selection_probabilities(model, list(range(12))), probabilities)
+
+
+class TestMaskSelection:
+    def test_matches_probability_weights_over_many_draws(self, pair, tiny_pool):
+        _, streaming = pair
+        model = tiny_pool.full_config
+        mask = np.zeros(NUM_CLIENTS, dtype=bool)
+        mask[::2] = True
+        allowed = np.flatnonzero(mask).tolist()
+        expected = streaming.selection_probabilities(model, allowed)
+        counts = np.zeros(NUM_CLIENTS)
+        draws = 4000
+        rng = np.random.default_rng(0)
+        for _ in range(draws):
+            client = streaming.select_from_mask(model, rng, mask)
+            assert mask[client]
+            counts[client] += 1
+        observed = counts[np.asarray(allowed)] / draws
+        assert np.abs(observed - expected).max() < 0.03
+
+    def test_deterministic_for_fixed_seed_and_mask_not_mutated(self, pair, tiny_pool):
+        _, streaming = pair
+        model = tiny_pool.full_config
+        mask = np.ones(NUM_CLIENTS, dtype=bool)
+        before = mask.copy()
+        first = [streaming.select_from_mask(model, np.random.default_rng(s), mask) for s in range(30)]
+        second = [streaming.select_from_mask(model, np.random.default_rng(s), mask) for s in range(30)]
+        assert first == second
+        assert np.array_equal(mask, before)
+
+    def test_untouched_tier_reached_and_resolved_by_rank(self, tiny_pool):
+        streaming = StreamingRLClientSelector(tiny_pool, num_clients=100, strategy="rl-cs")
+        mask = np.ones(100, dtype=bool)
+        model = tiny_pool.full_config
+        hit = {streaming.select_from_mask(model, np.random.default_rng(s), mask) for s in range(200)}
+        assert len(hit) > 20  # the untouched tier spreads over the whole fleet
+
+    def test_empty_mask_rejected(self, pair, tiny_pool):
+        _, streaming = pair
+        with pytest.raises(ValueError, match="already selected"):
+            streaming.select_from_mask(tiny_pool.full_config, np.random.default_rng(0), np.zeros(NUM_CLIENTS, dtype=bool))
+
+    def test_wrong_shape_rejected(self, pair, tiny_pool):
+        _, streaming = pair
+        with pytest.raises(ValueError, match="shape"):
+            streaming.select_from_mask(tiny_pool.full_config, np.random.default_rng(0), np.ones(3, dtype=bool))
+
+
+class TestMemoryBounds:
+    def test_columns_grow_with_selected_not_population(self, tiny_pool):
+        streaming = StreamingRLClientSelector(tiny_pool, num_clients=1_000_000, strategy="rl-cs")
+        assert streaming.num_touched == 0
+        full = tiny_pool.full_config
+        for client in (5, 123_456, 999_999, 5):
+            streaming.update(full, full, client)
+        assert streaming.num_touched == 3
+
+    def test_reads_never_materialise_columns(self, tiny_pool):
+        streaming = StreamingRLClientSelector(tiny_pool, num_clients=1_000_000, strategy="rl-cs")
+        streaming.combined_reward(tiny_pool.full_config, 777_777)
+        mask = np.ones(1_000_000, dtype=bool)
+        streaming.select_from_mask(tiny_pool.full_config, np.random.default_rng(0), mask)
+        assert streaming.num_touched == 0
+
+
+class TestCheckpointing:
+    def test_state_round_trips_bit_exactly(self, pair, tiny_pool):
+        _, streaming = pair
+        state = streaming.state_dict()
+        assert state["client_ids"].size == streaming.num_touched
+        restored = StreamingRLClientSelector(tiny_pool, num_clients=NUM_CLIENTS, strategy="rl-cs")
+        restored.load_state_dict(state)
+        for name, table in streaming.snapshot().items():
+            assert np.array_equal(table, restored.snapshot()[name]), name
+
+    def test_empty_state_round_trips(self, tiny_pool):
+        fresh = StreamingRLClientSelector(tiny_pool, num_clients=8)
+        state = fresh.state_dict()
+        assert state["client_ids"].size == 0
+        other = StreamingRLClientSelector(tiny_pool, num_clients=8)
+        other.load_state_dict(state)
+        assert other.num_touched == 0
+
+    def test_invalid_state_rejected(self, pair, tiny_pool):
+        _, streaming = pair
+        state = streaming.state_dict()
+        with pytest.raises(ValueError, match="missing"):
+            streaming.load_state_dict({"client_ids": state["client_ids"]})
+        bad = dict(state)
+        bad["client_ids"] = np.array([NUM_CLIENTS + 1], dtype=np.int64)
+        with pytest.raises(ValueError):
+            streaming.load_state_dict(bad)
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_arguments(self, tiny_pool):
+        with pytest.raises(ValueError):
+            StreamingRLClientSelector(tiny_pool, num_clients=0)
+        with pytest.raises(ValueError):
+            StreamingRLClientSelector(tiny_pool, num_clients=3, strategy="greedy")
+        with pytest.raises(ValueError):
+            StreamingRLClientSelector(tiny_pool, num_clients=3, resource_reward_cap=0.0)
+        with pytest.raises(ValueError):
+            StreamingRLClientSelector(tiny_pool, num_clients=3, cohort_size=0)
+
+    def test_update_validation_matches_dense(self, pair, tiny_pool):
+        _, streaming = pair
+        small = tiny_pool.level_heads()["S"]
+        with pytest.raises(IndexError):
+            streaming.update(tiny_pool.full_config, small, NUM_CLIENTS)
+        with pytest.raises(ValueError, match="larger"):
+            streaming.update(small, tiny_pool.full_config, 0)

@@ -1,0 +1,137 @@
+"""Cohort-sharded streaming selection primitives (``repro.sim.cohorts``)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cohorts import (
+    cohort_counts,
+    expand_cohort,
+    iter_cohort_slices,
+    masked_choice_without_replacement,
+    nth_masked_index,
+    reservoir_sample,
+    streaming_top_k,
+)
+
+
+class TestCohortCounts:
+    def test_tallies_per_cohort(self):
+        mask = np.array([1, 0, 1, 1, 0, 0, 1, 1, 1], dtype=bool)
+        assert cohort_counts(mask, cohort_size=4).tolist() == [3, 2, 1]
+
+    def test_empty_mask(self):
+        assert cohort_counts(np.zeros(0, dtype=bool), cohort_size=4).size == 0
+
+    def test_rejects_bad_cohort_size(self):
+        with pytest.raises(ValueError, match="cohort_size"):
+            cohort_counts(np.ones(4, dtype=bool), cohort_size=0)
+
+
+class TestNthMaskedIndex:
+    def test_rank_translation(self):
+        mask = np.array([0, 1, 0, 1, 1], dtype=bool)
+        assert [nth_masked_index(mask, r) for r in range(3)] == [1, 3, 4]
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            nth_masked_index(np.array([True, False]), 1)
+
+
+class TestMaskedChoice:
+    def dense_reference(self, rng, mask, k):
+        return np.flatnonzero(mask)[rng.choice(int(mask.sum()), size=k, replace=False)]
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    @pytest.mark.parametrize("cohort_size", [3, 16, 1000])
+    def test_draw_equivalent_to_dense_reference(self, seed, cohort_size):
+        rng = np.random.default_rng(seed)
+        mask = np.random.default_rng(seed + 100).random(257) < 0.4
+        k = min(20, int(mask.sum()))
+        chosen = masked_choice_without_replacement(
+            np.random.default_rng(seed), mask, k, cohort_size=cohort_size
+        )
+        reference = self.dense_reference(rng, mask, k)
+        assert np.array_equal(chosen, reference)
+
+    def test_exhaustive_draw_covers_every_online_client(self):
+        mask = np.random.default_rng(3).random(100) < 0.5
+        total = int(mask.sum())
+        chosen = masked_choice_without_replacement(np.random.default_rng(0), mask, total, cohort_size=8)
+        assert sorted(chosen.tolist()) == np.flatnonzero(mask).tolist()
+
+    def test_rejects_oversampling_and_negative_k(self):
+        mask = np.array([True, False, True])
+        with pytest.raises(ValueError, match="cannot sample"):
+            masked_choice_without_replacement(np.random.default_rng(0), mask, 3)
+        with pytest.raises(ValueError, match="non-negative"):
+            masked_choice_without_replacement(np.random.default_rng(0), mask, -1)
+
+    def test_k_zero_consumes_no_randomness(self):
+        rng = np.random.default_rng(5)
+        before = rng.bit_generator.state
+        out = masked_choice_without_replacement(rng, np.ones(10, dtype=bool), 0)
+        assert out.size == 0
+        assert rng.bit_generator.state == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), size=st.integers(1, 300), cohort=st.integers(1, 64))
+    def test_property_matches_dense_reference(self, seed, size, cohort):
+        mask = np.random.default_rng(seed).random(size) < 0.6
+        total = int(mask.sum())
+        k = min(total, 7)
+        chosen = masked_choice_without_replacement(np.random.default_rng(seed), mask, k, cohort_size=cohort)
+        reference = self.dense_reference(np.random.default_rng(seed), mask, k)
+        assert np.array_equal(chosen, reference)
+
+
+class TestReservoirSample:
+    def test_short_stream_returned_whole(self):
+        assert reservoir_sample(range(3), 10, np.random.default_rng(0)) == [0, 1, 2]
+
+    def test_deterministic_for_fixed_seed(self):
+        first = reservoir_sample(range(1000), 10, np.random.default_rng(9))
+        second = reservoir_sample(range(1000), 10, np.random.default_rng(9))
+        assert first == second
+        assert len(set(first)) == 10
+
+    def test_uniformity_over_many_seeds(self):
+        hits = np.zeros(20)
+        for seed in range(400):
+            for item in reservoir_sample(range(20), 5, np.random.default_rng(seed)):
+                hits[item] += 1
+        # every item selected with probability 5/20 = 0.25 → ~100 hits each
+        assert hits.min() > 60 and hits.max() < 140
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            reservoir_sample(range(5), -1, np.random.default_rng(0))
+
+
+class TestStreamingTopK:
+    def test_matches_sorted_reference(self):
+        scored = [(i, float((i * 7919) % 101)) for i in range(200)]
+        top = streaming_top_k(scored, 10)
+        reference = sorted(scored, key=lambda pair: -pair[1])[:10]
+        assert [score for _, score in top] == [score for _, score in reference]
+
+    def test_ties_break_to_earlier_arrival(self):
+        scored = [(0, 1.0), (1, 1.0), (2, 1.0)]
+        assert streaming_top_k(scored, 2) == [(0, 1.0), (1, 1.0)]
+
+    def test_k_zero_and_short_streams(self):
+        assert streaming_top_k([(0, 1.0)], 0) == []
+        assert streaming_top_k([(0, 1.0)], 5) == [(0, 1.0)]
+
+
+class TestCohortIteration:
+    def test_slices_cover_population_exactly_once(self):
+        slices = list(iter_cohort_slices(10, cohort_size=4))
+        assert slices == [slice(0, 4), slice(4, 8), slice(8, 10)]
+
+    def test_expand_cohort_returns_absolute_ids(self):
+        mask = np.array([0, 1, 1, 0, 1, 0, 1], dtype=bool)
+        cohorts = list(iter_cohort_slices(mask.size, cohort_size=4))
+        ids = np.concatenate([expand_cohort(mask, cohort) for cohort in cohorts])
+        assert ids.tolist() == np.flatnonzero(mask).tolist()

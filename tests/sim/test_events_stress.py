@@ -1,0 +1,113 @@
+"""Stress + property tests of the event engine's ordering guarantees.
+
+Satellite of the fleet-scale PR: at 10⁵+ devices, thousands of events can
+share one timestamp (identical device templates → identical finish
+times), so FIFO tie-breaking and transfer-slot fairness stop being edge
+cases and become the common case.  These tests pin both under thousands
+of identical-timestamp events.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue, TransferGate
+
+
+class TestEventQueueFIFOStress:
+    def test_thousands_of_identical_timestamps_run_in_schedule_order(self):
+        queue = EventQueue()
+        fired: list[int] = []
+        for i in range(5000):
+            queue.schedule(1.0, lambda i=i: fired.append(i))
+        queue.run()
+        assert fired == list(range(5000))
+
+    def test_interleaved_times_sort_by_time_then_fifo(self):
+        queue = EventQueue()
+        fired: list[tuple[float, int]] = []
+        # schedule out of time order, thousands per timestamp bucket
+        times = [3.0, 1.0, 2.0, 1.0, 3.0, 2.0] * 1000
+        for i, t in enumerate(times):
+            queue.schedule(t, lambda t=t, i=i: fired.append((t, i)))
+        queue.run()
+        assert fired == sorted(fired, key=lambda pair: (pair[0], pair[1]))
+
+    def test_cancellation_under_ties_preserves_survivor_order(self):
+        queue = EventQueue()
+        fired: list[int] = []
+        events = [queue.schedule(1.0, lambda i=i: fired.append(i)) for i in range(2000)]
+        for event in events[::2]:
+            queue.cancel(event)
+        queue.run()
+        assert fired == list(range(1, 2000, 2))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sampled_from([0.0, 1.0, 1.5, 2.0]), min_size=1, max_size=200))
+    def test_property_stable_sort_of_schedule_order(self, delays):
+        """run() is a stable sort of the schedule sequence by time."""
+        queue = EventQueue()
+        fired: list[int] = []
+        for i, delay in enumerate(delays):
+            queue.schedule(delay, lambda i=i: fired.append(i))
+        queue.run()
+        expected = [i for _, i in sorted(zip(delays, range(len(delays))), key=lambda p: (p[0], p[1]))]
+        assert fired == expected
+
+
+class TestTransferGateFairnessStress:
+    def test_thousands_of_simultaneous_requests_start_in_request_order(self):
+        gate = TransferGate(capacity=4)
+        started: list[int] = []
+        for i in range(3000):
+            gate.acquire(lambda i=i: started.append(i))
+        # drain: every release admits exactly the longest-waiting transfer
+        while gate.active:
+            gate.release()
+        assert started == list(range(3000))
+
+    def test_no_slot_starvation_with_rolling_traffic(self):
+        """Later arrivals never overtake queued earlier arrivals."""
+        gate = TransferGate(capacity=2)
+        started: list[int] = []
+        rng = np.random.default_rng(0)
+        next_id = 0
+        for _ in range(2000):
+            if rng.random() < 0.6 or gate.active == 0:
+                gate.acquire(lambda i=next_id: started.append(i))
+                next_id += 1
+            else:
+                gate.release()
+        while gate.active:
+            gate.release()
+        assert started == sorted(started)
+        assert len(started) == next_id  # every request eventually started
+
+    def test_unlimited_gate_starts_everything_immediately(self):
+        gate = TransferGate(capacity=None)
+        started: list[int] = []
+        for i in range(1000):
+            gate.acquire(lambda i=i: started.append(i))
+        assert started == list(range(1000))
+        assert gate.waiting == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        capacity=st.integers(1, 5),
+        ops=st.lists(st.booleans(), min_size=1, max_size=300),
+    )
+    def test_property_fifo_admission_and_slot_invariant(self, capacity, ops):
+        """active ≤ capacity always; admissions happen in request order."""
+        gate = TransferGate(capacity=capacity)
+        started: list[int] = []
+        requested = 0
+        for acquire in ops:
+            if acquire or gate.active == 0:
+                gate.acquire(lambda i=requested: started.append(i))
+                requested += 1
+            else:
+                gate.release()
+            assert gate.active <= capacity
+        while gate.active:
+            gate.release()
+        assert started == list(range(requested))
