@@ -129,6 +129,12 @@ def _add_setting_flags(parser: argparse.ArgumentParser) -> None:
         choices=["delta", "full"],
         help="weight transport: slice/delta (default) or legacy full-state shipping",
     )
+    group.add_argument(
+        "--transport-codec",
+        default="none",
+        choices=["none", "fp16", "int8", "topk"],
+        help="lossy uplink codec layered on the transport (default: none = exact)",
+    )
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -354,6 +360,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         max_workers=args.max_workers,
         scenario=args.scenario,
         transport=args.transport,
+        transport_codec=args.transport_codec,
     )
 
 

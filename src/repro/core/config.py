@@ -76,6 +76,12 @@ class FederatedConfig:
     #: bit-exact XOR deltas; "full" is the legacy per-task weight shipping.
     #: Both produce bit-identical results (see tests/perf).
     transport: str = "delta"
+    #: lossy update codec layered on the transport ("none", "fp16",
+    #: "int8", "topk" — see :mod:`repro.engine.codecs`).  "none" keeps
+    #: the exact bit-identical contract; lossy codecs stay deterministic
+    #: per (seed, round, client) but trade accuracy for uplink bytes,
+    #: tested under the bounded-accuracy contract (tests/engine).
+    transport_codec: str = "none"
 
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
@@ -87,6 +93,15 @@ class FederatedConfig:
         if self.transport not in {"delta", "full"}:
             raise ValueError("transport must be 'delta' or 'full'")
         validate_executor_choice(self.executor, self.max_workers)
+        # imported inside the method for the same circularity reason as
+        # the scenario validation below
+        from repro.engine.codecs import available_codecs
+
+        if self.transport_codec not in available_codecs():
+            raise ValueError(
+                f"transport_codec must be one of {sorted(available_codecs())}, "
+                f"got {self.transport_codec!r}"
+            )
         if self.scenario is not None:
             # imported inside the method: repro.sim.scenario imports
             # repro.core.serialization, so a module-level import here would

@@ -39,6 +39,7 @@ from repro.core.local_training import LocalTrainingResult
 from repro.core.metrics import evaluate_state
 from repro.core.pruning import slice_state_dict
 from repro.engine.base import Executor
+from repro.engine.codecs import EncodedUpdate, UpdateCodec, apply_encoded_update, get_codec
 from repro.engine.factory import create_executor
 from repro.engine.rng import client_stream
 from repro.engine.tasks import ClientTask, TrainSubmodelTask
@@ -152,6 +153,22 @@ class FederatedAlgorithm(ABC):
         self.profiler = Profiler(enabled=False)
         #: reused accumulation buffers for heterogeneous aggregation
         self._aggregator = HeterogeneousAggregator()
+        #: lossy update codec layered on the transport ("none" resolves to
+        #: None so the exact delta/full paths stay byte-for-byte untouched)
+        self._codec: UpdateCodec | None = (
+            get_codec(federated_config.transport_codec)
+            if federated_config.transport_codec != "none"
+            else None
+        )
+        #: server-banked per-client error-feedback residuals at full-model
+        #: shapes (device-local state in a real fleet; keeping it here keyed
+        #: by client id is what makes lossy runs executor-independent)
+        self._codec_residuals: dict[int, dict[str, np.ndarray]] = {}
+        #: true wire-byte accounting of the round in flight (reset by
+        #: :meth:`finalize_round`); encoded sizes, never nominal ones
+        self._round_bytes_up = 0
+        self._round_raw_bytes_up = 0
+        self._round_bytes_down = 0
         #: one publisher per logical weight stream (slice/delta transport)
         self._state_stores: dict[str, StateStore] = {}
         #: one-time published per-client datasets (delta transport): workers
@@ -259,11 +276,10 @@ class FederatedAlgorithm(ABC):
         tasks = []
         for client_id, group_sizes, state_source in assignments:
             is_handle = isinstance(state_source, StateHandle)
-            if self.profiler.enabled:
-                if is_handle:
-                    self.count_downlink(group_sizes=group_sizes)
-                else:
-                    self.count_downlink(actual_bytes=state_nbytes(state_source))
+            if is_handle:
+                self.count_downlink(group_sizes=group_sizes)
+            else:
+                self.count_downlink(actual_bytes=state_nbytes(state_source))
             tasks.append(
                 TrainSubmodelTask(
                     architecture=self.architecture,
@@ -274,6 +290,8 @@ class FederatedAlgorithm(ABC):
                     client_id=client_id,
                     rng_stream=self.client_stream(round_index, client_id),
                     delta_upload=is_handle,
+                    codec=self._codec,
+                    codec_residual=self.codec_residual_for(client_id, group_sizes),
                     trace=self.task_trace(),
                 )
             )
@@ -338,13 +356,13 @@ class FederatedAlgorithm(ABC):
         Under delta transport the size is derived from the slice's
         parameter count (batch-norm statistics excluded).
         """
-        if not self.profiler.enabled:
-            return
         if actual_bytes is None:
             if num_params is None:
                 num_params = self.architecture.parameter_count(dict(group_sizes))
             actual_bytes = num_params * np.dtype(resolve_dtype()).itemsize
-        self.profiler.count("transport.bytes_down", actual_bytes)
+        self._round_bytes_down += actual_bytes
+        if self.profiler.enabled:
+            self.profiler.count("transport.bytes_down", actual_bytes)
 
     def decode_result_state(
         self,
@@ -352,15 +370,79 @@ class FederatedAlgorithm(ABC):
         group_sizes: Mapping[str, int],
         source_state: Mapping[str, np.ndarray],
     ) -> Mapping[str, np.ndarray]:
-        """Resolve an upload (raw weights or XOR delta) into plain weights."""
-        if isinstance(uploaded, Mapping):
+        """Resolve an upload (raw weights, XOR delta or codec payload) into plain weights.
+
+        Every branch accounts the upload's *actual* wire size on the
+        round accumulators — for an :class:`EncodedUpdate` that is the
+        compressed blob length, so lossy payloads are never overstated —
+        and an encoded upload additionally banks the client's new
+        error-feedback residual before decoding against the same
+        reference slice the worker trained from.
+        """
+        if isinstance(uploaded, EncodedUpdate):
+            self._round_bytes_up += uploaded.nbytes
+            self._round_raw_bytes_up += uploaded.raw_nbytes
             if self.profiler.enabled:
-                self.profiler.count("transport.bytes_up", state_nbytes(uploaded))
+                self.profiler.count("transport.bytes_up", uploaded.nbytes)
+            self._bank_codec_residual(uploaded)
+            reference = slice_state_dict(source_state, self.architecture, dict(group_sizes))
+            return apply_encoded_update(uploaded, reference)
+        if isinstance(uploaded, Mapping):
+            nbytes = state_nbytes(uploaded)
+            self._round_bytes_up += nbytes
+            if self.profiler.enabled:
+                self.profiler.count("transport.bytes_up", nbytes)
             return uploaded
+        self._round_bytes_up += uploaded.nbytes
         if self.profiler.enabled:
             self.profiler.count("transport.bytes_up", uploaded.nbytes)
         reference = slice_state_dict(source_state, self.architecture, dict(group_sizes))
         return decode_upload(uploaded, reference)
+
+    # -- lossy transport codec (repro.engine.codecs) -------------------------------------
+    @property
+    def transport_codec(self) -> UpdateCodec | None:
+        """The active lossy codec (None = exact transport)."""
+        return self._codec
+
+    def codec_residual_for(
+        self, client_id: int, group_sizes: Mapping[str, int]
+    ) -> dict[str, np.ndarray] | None:
+        """The error-feedback carry a dispatched task should receive.
+
+        The full-shape bank is prefix-sliced to the dispatched submodel —
+        the same cut :func:`slice_state_dict` applies to the weights — so
+        only the coordinates the client actually trains see their carry.
+        Returns None when the codec keeps no residual or none has
+        accumulated for this client yet.
+        """
+        if self._codec is None or not self._codec.uses_error_feedback:
+            return None
+        bank = self._codec_residuals.get(client_id)
+        if bank is None:
+            return None
+        return slice_state_dict(bank, self.architecture, dict(group_sizes))
+
+    def _bank_codec_residual(self, encoded: EncodedUpdate) -> None:
+        """Scatter an upload's new residual back into the client's bank.
+
+        The bank holds full-model shapes; the upload's residual covers the
+        prefix region the client trained, which replaces exactly that
+        region (coordinates outside the dispatched slice keep their old
+        carry — they were neither trained nor encoded this round).
+        """
+        if encoded.residual is None:
+            return
+        bank = self._codec_residuals.get(encoded.client_id)
+        if bank is None:
+            bank = self._codec_residuals[encoded.client_id] = {
+                name: np.zeros_like(np.asarray(value))
+                for name, value in self.global_state.items()
+            }
+        for name, carry in encoded.residual.items():
+            target = bank[name]
+            region = tuple(slice(0, size) for size in carry.shape)
+            target[region] = carry.astype(target.dtype, copy=False)
 
     def aggregate(self, updates: "Iterable[ClientUpdate]") -> dict[str, np.ndarray]:
         """Heterogeneous aggregation into reused accumulation buffers.
@@ -512,11 +594,21 @@ class FederatedAlgorithm(ABC):
             return None
         from repro.sim.fleet import ClientDispatch
 
+        # a lossy codec shrinks the modeled uplink: the fleet clock (and any
+        # byte-budget admission) must see the compressed transfer, so the
+        # nominal per-param rate scales params_up for the simulator
+        uplink_scale = 1.0
+        if self._codec is not None:
+            uplink_scale = self._codec.nominal_bytes_per_param / 4.0
         dispatches = [
             ClientDispatch(
                 client_id=client_id,
                 params_down=self.pool.by_name(sent_name).num_params,
-                params_up=self.pool.by_name(back_name).num_params,
+                params_up=(
+                    self.pool.by_name(back_name).num_params
+                    if uplink_scale == 1.0
+                    else max(1, int(round(self.pool.by_name(back_name).num_params * uplink_scale)))
+                ),
                 flops_per_sample=self.submodel_flops(back_name),
                 num_samples=self.clients[client_id].num_samples,
                 local_epochs=self.local_config.local_epochs,
@@ -533,18 +625,43 @@ class FederatedAlgorithm(ABC):
         simulated duration, per-client arrivals, dropped clients, the
         deadline and the bytes moved; otherwise it falls back to the
         legacy test-bed clock (or leaves the record untimed).
+
+        Under a lossy codec ``record.bytes_up`` is always the round's
+        *true encoded* uplink (summed compressed payload sizes from
+        :meth:`decode_result_state`) — never the nominal 4-bytes-per-param
+        model — and the ``codec_bytes_up_total`` / ``codec_raw_bytes_up_total``
+        obs counters advance so compression ratios are scrapeable live.
         """
+        codec_bytes_up = self._round_bytes_up
+        codec_raw_up = self._round_raw_bytes_up
+        codec_bytes_down = self._round_bytes_down
+        self._round_bytes_up = 0
+        self._round_raw_bytes_up = 0
+        self._round_bytes_down = 0
+        if self._codec is not None:
+            registry = obs_registry()
+            registry.counter(
+                "codec_bytes_up_total", "encoded (post-codec) uplink bytes aggregated"
+            ).inc(codec_bytes_up)
+            registry.counter(
+                "codec_raw_bytes_up_total", "uncompressed bytes the same uploads would have moved"
+            ).inc(codec_raw_up)
         if outcome is None:
             record.wall_clock_seconds = self.simulate_round_time(
                 record.round_index, record.selected_clients, record.dispatched, record.returned
             )
+            # measured wire bytes (exact or encoded) — populated whenever the
+            # round actually moved payloads, so codec ratios have a baseline
+            if codec_bytes_up > 0 or codec_bytes_down > 0:
+                record.bytes_up = codec_bytes_up
+                record.bytes_down = codec_bytes_down
             return record
         record.wall_clock_seconds = outcome.round_seconds
         record.deadline_seconds = outcome.deadline_seconds
         record.arrival_seconds = outcome.arrival_seconds()
         record.dropped_clients = outcome.dropped_client_ids()
         record.bytes_down = outcome.bytes_down
-        record.bytes_up = outcome.bytes_up
+        record.bytes_up = outcome.bytes_up if self._codec is None else codec_bytes_up
         self._observe_fleet_metrics(record.round_index, outcome.round_seconds)
         return record
 
@@ -646,6 +763,17 @@ class FederatedAlgorithm(ABC):
             if charge is not None:
                 extra_arrays["fleet/charge"] = charge
             extra_state["fleet"] = fleet_state
+        if self._codec is not None:
+            # error-feedback residuals are run state: a resumed lossy run
+            # only matches an uninterrupted one if every client's carry
+            # survives bit-exact
+            extra_state["codec"] = {
+                "name": self._codec.name,
+                "clients": sorted(self._codec_residuals),
+            }
+            for client_id in sorted(self._codec_residuals):
+                for key, value in self._codec_residuals[client_id].items():
+                    extra_arrays[f"codec/{client_id}/{key}"] = value.copy()
         return Checkpoint(
             algorithm=self.name,
             round_index=self.history.records[-1].round_index if self.history.records else 0,
@@ -690,6 +818,35 @@ class FederatedAlgorithm(ABC):
         elif "fleet" in extra_state:
             raise ValueError(
                 "checkpoint carries fleet state but this run has no scenario attached"
+            )
+        codec_meta = extra_state.pop("codec", None)
+        if self._codec is not None:
+            if codec_meta is None:
+                raise ValueError(
+                    "checkpoint has no codec state but this run uses transport codec "
+                    f"{self._codec.name!r}; it was written without one and cannot resume it"
+                )
+            if codec_meta.get("name") != self._codec.name:
+                raise ValueError(
+                    f"checkpoint was written with transport codec {codec_meta.get('name')!r}, "
+                    f"this run uses {self._codec.name!r}"
+                )
+            self._codec_residuals = {}
+            for client_id in codec_meta.get("clients", []):
+                prefix = f"codec/{client_id}/"
+                bank = {
+                    key[len(prefix) :]: np.array(value)
+                    for key, value in list(extra_arrays.items())
+                    if key.startswith(prefix)
+                }
+                for key in list(extra_arrays):
+                    if key.startswith(prefix):
+                        extra_arrays.pop(key)
+                self._codec_residuals[int(client_id)] = bank
+        elif codec_meta is not None:
+            raise ValueError(
+                f"checkpoint carries transport-codec state ({codec_meta.get('name')!r}) "
+                "but this run uses the exact transport"
             )
         self._apply_extra_state(extra_arrays, extra_state)
 

@@ -201,16 +201,19 @@ class AdaptiveFL(FederatedAlgorithm):
                 rng_stream=self.client_stream(round_index, selected[i]),
                 planned_return=planned_returns[i] if handle is not None else None,
                 delta_upload=handle is not None,
+                codec=self._codec,
+                codec_residual=self.codec_residual_for(
+                    selected[i], self.pool.group_sizes(planned_returns[i])
+                ),
                 trace=self.task_trace(),
             )
             for i in keep
         ]
-        if self.profiler.enabled:
-            for i in keep:
-                # modeled downlink: the slice the device trains (delta mode)
-                # or the dispatched slice it receives (full mode)
-                config = planned_returns[i] if handle is not None else dispatched_configs[i]
-                self.count_downlink(num_params=config.num_params)
+        for i in keep:
+            # modeled downlink: the slice the device trains (delta mode)
+            # or the dispatched slice it receives (full mode)
+            config = planned_returns[i] if handle is not None else dispatched_configs[i]
+            self.count_downlink(num_params=config.num_params)
         with self.profiler.scope("round.training"):
             results: list[ClientRoundResult] = self.execute_client_tasks(tasks)
         for i, result in zip(keep, results):

@@ -31,6 +31,7 @@ from repro.core.local_training import LocalTrainingResult, train_local_model
 from repro.core.model_pool import ModelPool, SubmodelConfig
 from repro.core.pruning import slice_state_dict
 from repro.data.datasets import Dataset
+from repro.engine.codecs import UpdateCodec, encode_client_update
 from repro.engine.transport import StateHandle, encode_state_delta
 from repro.nn.models.spec import SlimmableArchitecture
 from repro.obs.trace import TraceContext
@@ -93,6 +94,13 @@ class LocalRoundTask(ClientTask):
     #: cut the slice worker-side when ``dispatched_state`` is a handle
     planned_return: SubmodelConfig | None = None
     delta_upload: bool = False
+    #: lossy update codec (takes precedence over ``delta_upload``); the
+    #: trained slice uploads as an :class:`EncodedUpdate` of
+    #: ``trained − reference``, rounded on the task's own stream
+    codec: UpdateCodec | None = None
+    #: server-banked error-feedback carry for this client (sliced to the
+    #: dispatched shapes), added to the update before encoding
+    codec_residual: "Mapping[str, np.ndarray] | None" = None
     #: telemetry identity (round trace + task span); never read by run()
     trace: TraceContext | None = None
 
@@ -109,7 +117,19 @@ class LocalRoundTask(ClientTask):
             available_capacity=self.available_capacity,
             rng=self.rng(),
         )
-        if self.delta_upload:
+        if self.codec is not None:
+            # encode_client_update prefix-slices the reference to the
+            # trained shapes, which matches slice_state_dict's prefix cut
+            # bit-for-bit even when the device pruned below the plan
+            result.state = encode_client_update(
+                self.codec,
+                result.state,
+                initial_state,
+                rng_stream=self.rng_stream,
+                residual=self.codec_residual,
+                client_id=self.client.client_id,
+            )
+        elif self.delta_upload:
             reference = initial_state
             if result.returned.name != slice_config.name:  # pragma: no cover - plan invariant
                 reference = slice_state_dict(
@@ -131,6 +151,10 @@ class TrainSubmodelTask(ClientTask):
     rng_stream: np.random.SeedSequence
     client_id: int = -1
     delta_upload: bool = False
+    #: lossy update codec (takes precedence over ``delta_upload``)
+    codec: UpdateCodec | None = None
+    #: server-banked error-feedback carry for this client
+    codec_residual: "Mapping[str, np.ndarray] | None" = None
     #: telemetry identity (round trace + task span); never read by run()
     trace: TraceContext | None = None
 
@@ -146,6 +170,18 @@ class TrainSubmodelTask(ClientTask):
             config=self.local_config,
             rng=self.rng(),
         )
-        if self.delta_upload:
+        if self.codec is not None:
+            result = dataclass_replace(
+                result,
+                state=encode_client_update(
+                    self.codec,
+                    result.state,
+                    initial_state,
+                    rng_stream=self.rng_stream,
+                    residual=self.codec_residual,
+                    client_id=self.client_id,
+                ),
+            )
+        elif self.delta_upload:
             result = dataclass_replace(result, state=encode_state_delta(result.state, initial_state))
         return result

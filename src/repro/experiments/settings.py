@@ -68,6 +68,9 @@ class ExperimentSetting:
     #: weight transport: "delta" (slice download + XOR-delta upload, the
     #: default) or "full" (legacy per-task weight shipping); bit-identical
     transport: str = "delta"
+    #: lossy update codec on the uplink ("none", "fp16", "int8", "topk");
+    #: see :mod:`repro.engine.codecs` — "none" keeps exact transport
+    transport_codec: str = "none"
     overrides: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -81,6 +84,13 @@ class ExperimentSetting:
         validate_scenario_choice(self.scenario)
         if self.transport not in {"delta", "full"}:
             raise ValueError("transport must be 'delta' or 'full'")
+        from repro.engine.codecs import available_codecs
+
+        if self.transport_codec not in available_codecs():
+            raise ValueError(
+                f"transport_codec must be one of {sorted(available_codecs())}, "
+                f"got {self.transport_codec!r}"
+            )
 
     def to_dict(self) -> dict:
         """JSON-friendly representation; round-trips through :meth:`from_dict`."""
@@ -230,6 +240,7 @@ def prepare_experiment(setting: ExperimentSetting) -> PreparedExperiment:
         max_workers=setting.max_workers,
         scenario=setting.scenario,
         transport=setting.transport,
+        transport_codec=setting.transport_codec,
     )
     local_config = LocalTrainingConfig(
         local_epochs=scale.local_epochs,

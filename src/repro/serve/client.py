@@ -42,6 +42,7 @@ import time
 import traceback
 from collections import deque
 
+from repro.engine.codecs import EncodedUpdate
 from repro.engine.transport import set_state_fetcher
 from repro.obs.events import EventBus
 from repro.obs.sinks import JsonlSink
@@ -50,6 +51,7 @@ from repro.serve.protocol import (
     PROTOCOL_VERSION,
     SCHEMA_VERSION,
     Bye,
+    EncodedResult,
     Heartbeat,
     Hello,
     HelloAck,
@@ -98,6 +100,8 @@ class ClientRunner:
         self.drop_after = drop_after
         self.quiet = quiet
         self._sock: socket.socket | None = None
+        #: payload schema negotiated in the handshake (set by ``_connect``)
+        self._schema = SCHEMA_VERSION
         #: frames read while waiting for a weight slice, served afterwards
         self._deferred: "deque[Message]" = deque()
         self._results_computed = 0
@@ -170,6 +174,7 @@ class ClientRunner:
             sock.close()
             raise CodecError(f"expected hello_ack, got {type(reply).type!r}")
         self._sock = sock
+        self._schema = min(SCHEMA_VERSION, reply.schema_version)
         self._log(f"connected to {reply.server_name} at {self.host}:{self.port} (resumed={reply.resumed})")
 
     def _close_socket(self) -> None:
@@ -258,10 +263,14 @@ class ClientRunner:
         )
         error: str | None = None
         payload = b""
+        encoded: EncodedUpdate | None = None
         try:
             task = pickle.loads(dispatch.payload)
             result = task.run()
             payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            state = getattr(result, "state", None)
+            if isinstance(state, EncodedUpdate):
+                encoded = state
         except Exception:
             error = traceback.format_exc()
         self._results_computed += 1
@@ -277,9 +286,11 @@ class ClientRunner:
             self._log(f"injected drop after result #{self._results_computed}")
             self._close_socket()
             return False
-        send_message(
-            self._sock,
-            TaskResult(
+        if encoded is not None and self._schema >= 3:
+            # schema-3 peers get the codec-tagged frame so the coordinator's
+            # compression counters see true encoded bytes, not pickle sizes;
+            # older servers receive the same payload as a plain state_delta
+            upload: TaskResult = EncodedResult(
                 batch_id=dispatch.batch_id,
                 task_index=dispatch.task_index,
                 payload=payload,
@@ -287,8 +298,21 @@ class ClientRunner:
                 error=error,
                 trace_id=dispatch.trace_id,
                 span_id=dispatch.span_id,
-            ),
-        )
+                codec=encoded.codec,
+                encoded_nbytes=encoded.nbytes,
+                raw_nbytes=encoded.raw_nbytes,
+            )
+        else:
+            upload = TaskResult(
+                batch_id=dispatch.batch_id,
+                task_index=dispatch.task_index,
+                payload=payload,
+                client_name=self.name,
+                error=error,
+                trace_id=dispatch.trace_id,
+                span_id=dispatch.span_id,
+            )
+        send_message(self._sock, upload)
         self.events.emit(
             "task_upload",
             trace_id=dispatch.trace_id,

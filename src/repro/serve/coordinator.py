@@ -48,6 +48,7 @@ from repro.serve.protocol import (
     MIN_SCHEMA_VERSION,
     PROTOCOL_VERSION,
     SCHEMA_VERSION,
+    EncodedResult,
     Hello,
     HelloAck,
     ProtocolError,
@@ -147,6 +148,13 @@ class Coordinator:
         )
         self.bytes_up = self.metrics.counter(
             "bytes_up_total", "payload bytes received from clients (result uploads)"
+        )
+        #: true post-codec upload bytes reported by schema-3 encoded_delta frames
+        self.codec_bytes_up = self.metrics.counter(
+            "codec_bytes_up_total", "encoded update bytes reported by codec-tagged uploads"
+        )
+        self.codec_raw_bytes_up = self.metrics.counter(
+            "codec_raw_bytes_up_total", "uncompressed-equivalent bytes of codec-tagged uploads"
         )
         self._known_clients: set[str] = set()
         self._pending: "asyncio.Queue[TaskEnvelope]" = asyncio.Queue()
@@ -400,6 +408,11 @@ class Coordinator:
         batch.remaining -= 1
         self.count("results")
         self.bytes_up.inc(len(message.payload))
+        codec = ""
+        if isinstance(message, EncodedResult):
+            codec = message.codec
+            self.codec_bytes_up.inc(message.encoded_nbytes)
+            self.codec_raw_bytes_up.inc(message.raw_nbytes)
         get_event_bus().emit(
             "task_result",
             trace_id=envelope.trace_id,
@@ -408,6 +421,7 @@ class Coordinator:
             batch_id=batch.batch_id,
             client=message.client_name,
             payload_bytes=len(message.payload),
+            codec=codec,
         )
         if batch.remaining == 0:
             batch.finished.set()

@@ -16,6 +16,8 @@ message                   direction  meaning
 ``weight_slice``          s → c      the requested state payload (pickled dict)
 ``state_delta``           c → s      a task's result — the XOR delta upload in
                                      delta-transport mode, raw weights otherwise
+``encoded_delta``         c → s      a codec-compressed task result, tagged with
+                                     the codec name + true byte counts (schema ≥ 3)
 ``heartbeat``             both       liveness probe / echo
 ``bye``                   both       orderly shutdown of one side
 ``error``                 both       protocol violation or remote failure report
@@ -34,6 +36,16 @@ Schema 2 added the optional ``trace_id``/``span_id`` telemetry fields on
 ``task_dispatch`` and ``state_delta`` frames (defaulted to empty
 strings, so schema-1 peers interoperate unchanged — the negotiation
 exists to make that compatibility contract explicit on the wire).
+
+Schema 3 added the ``encoded_delta`` frame (:class:`EncodedResult`): a
+codec-tagged ``state_delta`` subclass a client sends when the task's
+upload is a lossy :class:`~repro.engine.codecs.EncodedUpdate`.  The tag
+names the codec and carries the true encoded/raw byte counts so the
+coordinator's compression counters never re-measure pickles.  Clients
+only emit it when the negotiated schema is ≥ 3; to older servers the
+same payload travels as a plain ``state_delta`` frame (the pickled
+``EncodedUpdate`` inside is self-describing, so decoding is unaffected —
+only the wire-level accounting tag is lost).
 
 Payloads travel as pickles of this repository's own dataclasses, so the
 protocol is for **trusted networks only** — the loopback and
@@ -59,6 +71,7 @@ __all__ = [
     "StateRequest",
     "WeightSlice",
     "TaskResult",
+    "EncodedResult",
     "Heartbeat",
     "Bye",
     "ProtocolError",
@@ -68,8 +81,9 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: payload pickle schema version (task dataclasses, state dicts, deltas);
-#: v2 added optional trace fields on task_dispatch/state_delta frames
-SCHEMA_VERSION = 2
+#: v2 added optional trace fields on task_dispatch/state_delta frames,
+#: v3 the codec-tagged encoded_delta result frame
+SCHEMA_VERSION = 3
 
 #: oldest payload schema the server still accepts in the handshake
 MIN_SCHEMA_VERSION = 1
@@ -188,6 +202,25 @@ class TaskResult(Message):
     #: telemetry identity echoed from the dispatch (schema ≥ 2)
     trace_id: str = ""
     span_id: str = ""
+
+
+@register_message
+@dataclass(frozen=True)
+class EncodedResult(TaskResult):
+    """A codec-compressed task result (wire name ``encoded_delta``, schema ≥ 3).
+
+    Subclasses :class:`TaskResult` so every coordinator code path that
+    routes on ``isinstance(message, TaskResult)`` handles it unchanged;
+    the extra fields tag the payload with its codec and true byte
+    counts (``encoded_nbytes`` = summed compressed blob sizes,
+    ``raw_nbytes`` = what the same update would have moved uncompressed)
+    for the coordinator's compression metrics.
+    """
+
+    type: ClassVar[str] = "encoded_delta"
+    codec: str = ""
+    encoded_nbytes: int = 0
+    raw_nbytes: int = 0
 
 
 @register_message

@@ -726,6 +726,7 @@ class FleetSimulator:
             outcome = self._simulate_events(round_index, dispatches, draws)
             self._apply_battery_deaths(outcome, dispatches)
             self._apply_deadline(outcome)
+            self._apply_byte_budget(outcome)
             self._advance_batteries(outcome, dispatches)
             return outcome
         batch = DispatchBatch.from_dispatches(dispatches)
@@ -749,6 +750,7 @@ class FleetSimulator:
             outcome = self._simulate_events(round_index, dispatches, draws)
             self._apply_battery_deaths(outcome, dispatches)
             self._apply_deadline(outcome)
+            self._apply_byte_budget(outcome)
             self._advance_batteries(outcome, dispatches)
             return RoundOutcomeBatch.from_outcome(outcome)
         return self._simulate_batch(round_index, batch, draws)
@@ -873,6 +875,15 @@ class FleetSimulator:
         else:
             horizon = np.concatenate([finishes, failures])
             round_seconds = float(horizon.max()) if horizon.size else 0.0
+
+        refused = self._byte_budget_refusals(
+            np.asarray(bytes_down, dtype=np.float64),
+            np.asarray(bytes_up, dtype=np.float64),
+            finish_seconds,
+        )
+        if refused.any():
+            aggregated = aggregated & ~refused
+            bytes_up = np.where(refused, 0, bytes_up)
 
         if battery is not None:
             spent = battery.compute_watts * compute_seconds + battery.transfer_joules_per_mb * (
@@ -1041,6 +1052,59 @@ class FleetSimulator:
             outcome.round_seconds = float(deadline)  # the server waits out the deadline
         else:
             outcome.round_seconds = float(max(horizon)) if horizon else 0.0
+
+    def _byte_budget_refusals(
+        self,
+        bytes_down: np.ndarray,
+        bytes_up: np.ndarray,
+        finish_seconds: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean mask of uploads refused by ``spec.round_byte_budget``.
+
+        Admission control over a metered backhaul: every dispatched
+        downlink spends the budget first (the server already sent those
+        bytes), then returned uploads are admitted greedily in simulated
+        arrival order — dispatch position breaking ties — while budget
+        remains.  A refused upload costs nothing and does not aggregate.
+        The greedy rule means a small late-arriving upload may still be
+        admitted after a large one was refused; this is deterministic and
+        identical in both fleet engines.
+        """
+        refused = np.zeros(finish_seconds.shape, dtype=bool)
+        budget = self.spec.round_byte_budget
+        if budget is None:
+            return refused
+        remaining = float(budget) - float(np.sum(bytes_down))
+        returned = ~np.isnan(finish_seconds)
+        # stable argsort: NaN (never-returned) sorts last, equal arrival
+        # times keep dispatch order
+        for index in np.argsort(finish_seconds, kind="stable"):
+            if not returned[index]:
+                continue
+            cost = float(bytes_up[index])
+            if cost <= remaining:
+                remaining -= cost
+            else:
+                refused[index] = True
+        return refused
+
+    def _apply_byte_budget(self, outcome: RoundOutcome) -> None:
+        """Legacy-engine twin of :meth:`_byte_budget_refusals` (in place)."""
+        if self.spec.round_byte_budget is None:
+            return
+        nan = float("nan")
+        refused = self._byte_budget_refusals(
+            np.array([c.bytes_down for c in outcome.clients], dtype=np.float64),
+            np.array([c.bytes_up for c in outcome.clients], dtype=np.float64),
+            np.array(
+                [nan if c.finish_seconds is None else c.finish_seconds for c in outcome.clients],
+                dtype=np.float64,
+            ),
+        )
+        for client, refuse in zip(outcome.clients, refused):
+            if refuse:
+                client.aggregated = False
+                client.bytes_up = 0
 
     def _advance_batteries(self, outcome: RoundOutcome, dispatches: list[ClientDispatch]) -> None:
         battery = self.spec.battery

@@ -1,7 +1,7 @@
 """The shipped scenario library.
 
-Six scenarios spanning the operating conditions resource-constrained AIoT
-deployments face (ROADMAP's "as many scenarios as you can imagine"):
+Seven scenarios spanning the operating conditions resource-constrained
+AIoT deployments face (ROADMAP's "as many scenarios as you can imagine"):
 
 * ``stable_lab`` — a well-provisioned, always-on lab fleet; the control
   condition (no churn, no stragglers beyond hardware heterogeneity).
@@ -12,6 +12,9 @@ deployments face (ROADMAP's "as many scenarios as you can imagine"):
 * ``congested_network`` — a bandwidth-starved server uplink: few
   concurrent transfer slots, latency and jitter; stragglers come from
   queueing, countered by a deadline and over-selection.
+* ``congested_metered`` — the congested uplink plus a hard per-round
+  byte budget: uploads beyond the budget are refused in arrival order,
+  so deadlines become byte-driven (pair with ``--transport-codec``).
 * ``battery_constrained`` — battery-powered sensors that drain while
   training and recharge while idle.
 * ``paper_testbed`` — the paper's §4.5 test-bed (4 Raspberry Pi 4B,
@@ -42,6 +45,7 @@ __all__ = [
     "flaky_edge",
     "diurnal",
     "congested_network",
+    "congested_metered",
     "battery_constrained",
     "paper_testbed",
 ]
@@ -136,6 +140,30 @@ def congested_network() -> ScenarioSpec:
         network=NetworkSpec(server_concurrency=3),
         deadline_factor=2.0,
         over_selection=2,
+    )
+
+
+@register_scenario("congested_metered")
+def congested_metered() -> ScenarioSpec:
+    """The congested uplink with a hard per-round transfer budget.
+
+    Same starved link as ``congested_network``, plus a metered backhaul:
+    every round may move at most ``round_byte_budget`` bytes (downlinks
+    first, then uploads admitted in arrival order).  Sized for the CI
+    scale so the budget *binds* under exact transport — late uploads are
+    refused — while a lossy ``--transport-codec`` (int8/topk) shrinks
+    uplinks enough to fit everyone, which is exactly the trade the
+    compressed transport tier exists to demonstrate.
+    """
+    base = congested_network()
+    return ScenarioSpec(
+        name="congested_metered",
+        description="congested uplink + per-round byte budget; codecs buy admission",
+        devices=base.devices,
+        network=base.network,
+        deadline_factor=base.deadline_factor,
+        over_selection=base.over_selection,
+        round_byte_budget=192_000,
     )
 
 

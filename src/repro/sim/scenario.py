@@ -238,6 +238,11 @@ class ScenarioSpec:
     deadline_factor: float | None = None
     #: extra clients dispatched beyond ``clients_per_round`` (over-selection)
     over_selection: int = 0
+    #: per-round transfer budget in bytes (downlinks + admitted uploads);
+    #: once spent, later-arriving uploads are refused (metered backhaul).
+    #: None = unmetered.  Admission is deterministic: uploads are admitted
+    #: in simulated-arrival order, dispatch position breaking ties.
+    round_byte_budget: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -258,6 +263,8 @@ class ScenarioSpec:
             raise ValueError("set at most one of deadline_seconds/deadline_factor")
         if self.over_selection < 0:
             raise ValueError("over_selection must be non-negative")
+        if self.round_byte_budget is not None and self.round_byte_budget <= 0:
+            raise ValueError("round_byte_budget must be positive when set")
 
     @property
     def has_deadline(self) -> bool:
@@ -280,6 +287,7 @@ class ScenarioSpec:
             and self.dropout_rate == 0.0
             and not self.has_deadline
             and self.over_selection == 0
+            and self.round_byte_budget is None
         )
 
     def to_dict(self) -> dict:
@@ -294,6 +302,7 @@ class ScenarioSpec:
             "deadline_seconds": self.deadline_seconds,
             "deadline_factor": self.deadline_factor,
             "over_selection": self.over_selection,
+            "round_byte_budget": self.round_byte_budget,
         }
 
     @classmethod

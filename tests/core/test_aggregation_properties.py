@@ -1,12 +1,15 @@
 """Property-style tests of Algorithm 2's heterogeneous aggregation.
 
-Two structural properties pinned with hypothesis:
+Structural properties pinned with hypothesis:
 
 * **FedAvg reduction** — when every upload covers the full tensor shapes,
   heterogeneous aggregation *is* classic FedAvg (same weighted mean).
 * **Coverage boundary** (Algorithm 2, line 14) — elements covered by no
   upload keep their previous global value exactly; covered elements never
   depend on the old value.
+* **Quantization stability** — aggregating codec-quantized uploads stays
+  within the worst contributing client's per-element quantization step of
+  the exact aggregate (a weighted mean never amplifies codec error).
 """
 
 import numpy as np
@@ -14,6 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.aggregation import ClientUpdate, aggregate_heterogeneous, fedavg_aggregate
+from repro.engine.codecs import decode_update, encode_update, get_codec
 
 SHAPES = ((4,), (3, 5), (2, 3, 2))
 
@@ -100,3 +104,85 @@ def test_covered_region_is_independent_of_old_global_values(seed, samples):
     )
     for name in update_state:
         assert np.array_equal(merged_a[name], merged_b[name])
+
+
+# -- aggregation under codec-quantized uploads (compressed transport tier) ---------------
+
+
+def _per_element_step(codec_name: str, tensor: np.ndarray) -> np.ndarray:
+    """Worst-case per-element reconstruction error of one quantized tensor."""
+    work = np.abs(tensor).astype(np.float32)
+    if codec_name == "int8":
+        # symmetric lattice: every element rounds within one scale step
+        peak = float(work.max()) if work.size else 0.0
+        return np.full(tensor.shape, peak / 127.0, dtype=np.float64)
+    # fp16 stochastic rounding lands on a neighbouring float16 grid point,
+    # so the error is bounded by the local grid spacing
+    return np.spacing(work.astype(np.float16)).astype(np.float64)
+
+
+def _quantize(codec_name: str, state: dict, seed: int) -> dict:
+    codec = get_codec(codec_name)
+    rng = np.random.default_rng(seed)
+    return decode_update(encode_update(codec, state, rng))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    codec_name=st.sampled_from(["int8", "fp16"]),
+    prefixes=st.lists(st.sampled_from([0.25, 0.5, 0.75, 1.0]), min_size=1, max_size=5),
+    weights=st.lists(st.integers(1, 100), min_size=5, max_size=5),
+    seed=st.integers(0, 2**16),
+)
+def test_quantized_uploads_aggregate_within_per_element_codec_bound(
+    codec_name, prefixes, weights, seed
+):
+    """|agg(quantized) - agg(exact)| <= max contributing client's step.
+
+    The aggregate is a per-element convex combination of the uploads, so
+    its error can never exceed the largest single-client quantization
+    error among the clients covering that element; uncovered elements
+    (kept from the old global state) must not move at all.
+    """
+    rng = np.random.default_rng(seed)
+    global_state = {f"w{i}": rng.normal(size=shape) for i, shape in enumerate(SHAPES)}
+    states = _states(rng, prefixes)
+    exact = [ClientUpdate(state, samples) for state, samples in zip(states, weights)]
+    quantized = [
+        ClientUpdate(_quantize(codec_name, state, seed + client), samples)
+        for client, (state, samples) in enumerate(zip(states, weights))
+    ]
+
+    merged_exact = aggregate_heterogeneous(global_state, exact)
+    merged_quantized = aggregate_heterogeneous(global_state, quantized)
+
+    for name, old_value in global_state.items():
+        # elementwise bound: max step over the clients covering each element
+        bound = np.zeros(old_value.shape, dtype=np.float64)
+        covered = np.zeros(old_value.shape, dtype=bool)
+        for update in exact:
+            tensor = update.state[name]
+            region = tuple(slice(0, extent) for extent in tensor.shape)
+            np.maximum(bound[region], _per_element_step(codec_name, tensor), out=bound[region])
+            covered[region] = True
+        error = np.abs(merged_quantized[name] - merged_exact[name])
+        assert np.array_equal(error[~covered], np.zeros(np.count_nonzero(~covered)))
+        # 1e-6 absorbs the float32 encode/accumulate round-trip on top of
+        # the lattice step itself
+        assert np.all(error[covered] <= bound[covered] + 1e-6), (
+            f"{codec_name} aggregation error exceeds the codec step in {name!r}: "
+            f"max overshoot {np.max(error[covered] - bound[covered])}"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16), samples=st.integers(1, 1000))
+def test_unanimous_quantized_upload_is_reproduced_exactly(seed, samples):
+    """N identical quantized uploads aggregate to that quantized tensor."""
+    rng = np.random.default_rng(seed)
+    global_state = {f"w{i}": rng.normal(size=shape) for i, shape in enumerate(SHAPES)}
+    state = _quantize("int8", {name: rng.normal(size=v.shape) for name, v in global_state.items()}, seed)
+    updates = [ClientUpdate(state, samples) for _ in range(3)]
+    merged = aggregate_heterogeneous(global_state, updates)
+    for name in global_state:
+        np.testing.assert_allclose(merged[name], state[name], rtol=0, atol=1e-12)

@@ -25,6 +25,7 @@ EXPECTED_WIRE_NAMES = {
     "state_request",
     "weight_slice",
     "state_delta",
+    "encoded_delta",
     "heartbeat",
     "bye",
     "error",
